@@ -1,0 +1,129 @@
+//! `repro` — regenerates every table and figure of the TPP paper.
+//!
+//! ```text
+//! cargo run --release -p tpp-bench --bin repro -- all
+//! cargo run --release -p tpp-bench --bin repro -- fig15 [--quick]
+//! ```
+
+use tpp_bench::charfig;
+use tpp_bench::evalfig;
+use tpp_bench::sweeps;
+use tpp_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        match args.get(i + 1) {
+            Some(dir) => tpp_bench::scale::set_csv_dir(dir),
+            None => {
+                eprintln!("--csv requires a directory argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    let mut skip_next = false;
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    let targets = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig15", "fig16", "fig17",
+            "fig18", "table1", "fig19", "reclaim_rate", "zswap", "colocation", "sweep_dsf",
+            "sweep_latency", "sweep_ratio",
+        ]
+    } else {
+        targets
+    };
+
+    let needs_characterization = targets
+        .iter()
+        .any(|t| matches!(*t, "fig7" | "fig8" | "fig9" | "fig10" | "fig11"));
+    let chars = if needs_characterization {
+        eprintln!("characterizing workloads (Chameleon)...");
+        charfig::characterize_all(&scale)
+    } else {
+        Vec::new()
+    };
+
+    for target in targets {
+        eprintln!("running {target}...");
+        match target {
+            "fig2" => {
+                charfig::fig2();
+            }
+            "fig7" => {
+                charfig::fig7(&chars);
+            }
+            "fig8" => {
+                charfig::fig8(&chars);
+            }
+            "fig9" => {
+                charfig::fig9(&chars);
+            }
+            "fig10" => {
+                charfig::fig10(&chars);
+            }
+            "fig11" => {
+                charfig::fig11(&chars);
+            }
+            "fig15" => {
+                evalfig::fig15(&scale);
+            }
+            "fig16" => {
+                evalfig::fig16(&scale);
+            }
+            "fig17" => {
+                evalfig::fig17(&scale);
+            }
+            "fig18" => {
+                evalfig::fig18(&scale);
+            }
+            "table1" => {
+                evalfig::table1(&scale);
+            }
+            "fig19" => {
+                evalfig::fig19(&scale);
+            }
+            "reclaim_rate" => {
+                sweeps::reclaim_rate_comparison(&scale);
+            }
+            "zswap" => {
+                sweeps::zswap_comparison(&scale);
+            }
+            "colocation" => {
+                sweeps::colocation(&scale);
+            }
+            "sweep_dsf" => {
+                sweeps::sweep_demote_scale(&scale);
+            }
+            "sweep_latency" => {
+                sweeps::sweep_cxl_latency(&scale);
+            }
+            "sweep_ratio" => {
+                sweeps::sweep_ratio(&scale);
+            }
+            other => {
+                eprintln!("unknown target: {other}");
+                eprintln!(
+                    "known: fig2 fig7 fig8 fig9 fig10 fig11 fig15 fig16 fig17 fig18 table1 \
+                     fig19 reclaim_rate zswap colocation sweep_dsf sweep_latency sweep_ratio all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Evaluation figures (paper §6): Figures 15–19 and Table 1.
+//!
+//! Every function returns structured results (for integration tests and
+//! Criterion benches) and prints the paper-shaped table.
+
+use tiered_mem::{Memory, VmEvent};
+use tiered_sim::SEC;
+use tiered_workloads::WorkloadProfile;
+use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
+use tpp::configs;
+use tpp::policy::TppConfig;
+
+use crate::scale::{pct, print_table, Scale};
+
+/// One workload's comparison: the all-local baseline plus one result per
+/// evaluated policy.
+pub struct Comparison {
+    /// Workload name.
+    pub workload: String,
+    /// The all-from-local-memory baseline (default kernel, single node).
+    pub baseline: ExperimentResult,
+    /// Policy results on the tiered machine.
+    pub cells: Vec<ExperimentResult>,
+}
+
+fn run_baseline(profile: &WorkloadProfile, scale: &Scale) -> ExperimentResult {
+    run_cell(
+        profile,
+        configs::all_local(profile.working_set_pages()),
+        &PolicyChoice::Linux,
+        scale.duration_ns,
+        scale.seed,
+    )
+    .expect("all-local baseline always runs")
+}
+
+fn compare(
+    profile: &WorkloadProfile,
+    machine: impl Fn() -> Memory,
+    policies: &[PolicyChoice],
+    scale: &Scale,
+) -> Comparison {
+    let baseline = run_baseline(profile, scale);
+    let cells = policies
+        .iter()
+        .map(|choice| {
+            run_cell(profile, machine(), choice, scale.duration_ns, scale.seed)
+                .expect("policy was pre-validated for this machine")
+        })
+        .collect();
+    Comparison { workload: profile.name.clone(), baseline, cells }
+}
+
+fn traffic_perf_rows(comparisons: &[Comparison]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for c in comparisons {
+        for r in &c.cells {
+            let demote_rate = r.demoted() as f64 / (r.duration_ns as f64 / SEC as f64);
+            let reclaim_rate = r.vmstat.get(VmEvent::PgSteal) as f64
+                / (r.duration_ns as f64 / SEC as f64);
+            rows.push(vec![
+                c.workload.clone(),
+                r.policy.clone(),
+                pct(r.local_traffic),
+                pct(1.0 - r.local_traffic),
+                pct(r.anon_resident_local),
+                pct(r.relative_throughput(&c.baseline)),
+                format!("{demote_rate:.0}"),
+                format!("{reclaim_rate:.0}"),
+                format!("{}", r.promoted()),
+            ]);
+        }
+    }
+    rows
+}
+
+const TRAFFIC_HEADER: [&str; 9] = [
+    "workload",
+    "policy",
+    "local traffic",
+    "CXL traffic",
+    "anon on local",
+    "throughput vs all-local",
+    "demote/s",
+    "pageout/s",
+    "promoted",
+];
+
+/// Figure 15: default production environment (2:1), default Linux vs TPP
+/// on all four workloads.
+pub fn fig15(scale: &Scale) -> Vec<Comparison> {
+    let comparisons: Vec<Comparison> = tiered_workloads::all_production(scale.ws_pages)
+        .iter()
+        .map(|p| {
+            compare(
+                p,
+                || configs::two_to_one(p.working_set_pages()),
+                &[PolicyChoice::Linux, PolicyChoice::Tpp],
+                scale,
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 15 — 2:1 local:CXL, default Linux vs TPP",
+        &TRAFFIC_HEADER,
+        &traffic_perf_rows(&comparisons),
+    );
+    comparisons
+}
+
+/// Figure 16: large memory expansion (1:4) for the Cache workloads.
+pub fn fig16(scale: &Scale) -> Vec<Comparison> {
+    let profiles = [
+        tiered_workloads::cache1(scale.ws_pages),
+        tiered_workloads::cache2(scale.ws_pages),
+    ];
+    let comparisons: Vec<Comparison> = profiles
+        .iter()
+        .map(|p| {
+            compare(
+                p,
+                || configs::one_to_four(p.working_set_pages()),
+                &[PolicyChoice::Linux, PolicyChoice::Tpp],
+                scale,
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 16 — 1:4 local:CXL (80% of working set on CXL)",
+        &TRAFFIC_HEADER,
+        &traffic_perf_rows(&comparisons),
+    );
+    comparisons
+}
+
+/// Figure 17: ablation of allocation/reclamation decoupling (Cache1,
+/// 1:4).
+pub fn fig17(scale: &Scale) -> Vec<Comparison> {
+    let profile = tiered_workloads::cache1(scale.ws_pages);
+    let coupled = TppConfig { decouple: false, ..TppConfig::default() };
+    let comparison = compare(
+        &profile,
+        || configs::one_to_four(profile.working_set_pages()),
+        &[PolicyChoice::TppCustom(coupled), PolicyChoice::Tpp],
+        scale,
+    );
+    let mut rows = Vec::new();
+    for (label, r) in [("coupled", &comparison.cells[0]), ("decoupled", &comparison.cells[1])] {
+        let alloc_p95 = r.metrics.alloc_local_rate.percentile(0.95).unwrap_or(0.0);
+        let promo_mean = r.metrics.promotion_rate.mean().unwrap_or(0.0);
+        let promo_p99 = r.metrics.promotion_rate.percentile(0.99).unwrap_or(0.0);
+        rows.push(vec![
+            label.to_string(),
+            format!("{alloc_p95:.0}"),
+            format!("{promo_mean:.0}"),
+            format!("{promo_p99:.0}"),
+            pct(1.0 - r.local_traffic),
+            pct(r.relative_throughput(&comparison.baseline)),
+        ]);
+    }
+    print_table(
+        "Figure 17 — decoupling allocation & reclamation (Cache1, 1:4)",
+        &[
+            "variant",
+            "local alloc p95 (pages/s)",
+            "promo mean (pages/s)",
+            "promo p99 (pages/s)",
+            "CXL traffic",
+            "throughput vs all-local",
+        ],
+        &rows,
+    );
+    vec![comparison]
+}
+
+/// Figure 18: ablation of the active-LRU promotion filter (Cache1, 1:4).
+pub fn fig18(scale: &Scale) -> Vec<Comparison> {
+    let profile = tiered_workloads::cache1(scale.ws_pages);
+    let instant = TppConfig { active_lru_filter: false, ..TppConfig::default() };
+    let comparison = compare(
+        &profile,
+        || configs::one_to_four(profile.working_set_pages()),
+        &[PolicyChoice::TppCustom(instant), PolicyChoice::Tpp],
+        scale,
+    );
+    let mut rows = Vec::new();
+    for (label, r) in [
+        ("instant promotion", &comparison.cells[0]),
+        ("active-LRU filter", &comparison.cells[1]),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.promoted()),
+            format!("{}", r.vmstat.get(VmEvent::PgPromoteCandidateDemoted)),
+            pct(r.vmstat.promote_success_rate()),
+            format!("{}", r.demoted()),
+            pct(r.local_traffic),
+            pct(r.relative_throughput(&comparison.baseline)),
+        ]);
+    }
+    print_table(
+        "Figure 18 — active-LRU-based hot-page detection (Cache1, 1:4)",
+        &[
+            "variant",
+            "promoted",
+            "demoted-then-promoted (ping-pong)",
+            "promo success rate",
+            "demoted",
+            "local traffic",
+            "throughput vs all-local",
+        ],
+        &rows,
+    );
+    vec![comparison]
+}
+
+/// Table 1: page-type-aware allocation (caches to CXL).
+pub fn table1(scale: &Scale) -> Vec<Comparison> {
+    let aware = TppConfig { cache_to_cxl: true, ..TppConfig::default() };
+    let cells: Vec<(WorkloadProfile, &str, fn(u64) -> Memory)> = vec![
+        (tiered_workloads::web(scale.ws_pages), "2:1", configs::two_to_one),
+        (tiered_workloads::cache1(scale.ws_pages), "1:4", configs::one_to_four),
+        (tiered_workloads::cache2(scale.ws_pages), "1:4", configs::one_to_four),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (profile, config_label, machine) in cells {
+        let comparison = compare(
+            &profile,
+            || machine(profile.working_set_pages()),
+            &[PolicyChoice::TppCustom(aware)],
+            scale,
+        );
+        let r = &comparison.cells[0];
+        rows.push(vec![
+            profile.name.clone(),
+            config_label.to_string(),
+            pct(r.local_traffic),
+            pct(1.0 - r.local_traffic),
+            pct(r.relative_throughput(&comparison.baseline)),
+        ]);
+        out.push(comparison);
+    }
+    print_table(
+        "Table 1 — page-type-aware allocation (caches to CXL)",
+        &["application", "configuration", "local traffic", "CXL traffic", "perf w.r.t baseline"],
+        &rows,
+    );
+    out
+}
+
+/// Figure 19: TPP vs NUMA balancing vs AutoTiering (Web on 2:1; Cache1 on
+/// 1:4 where AutoTiering cannot run, so it is evaluated on 2:1 as in the
+/// paper).
+pub fn fig19(scale: &Scale) -> Vec<Comparison> {
+    let web = tiered_workloads::web(scale.ws_pages);
+    let web_cmp = compare(
+        &web,
+        || configs::two_to_one(web.working_set_pages()),
+        &[
+            PolicyChoice::Linux,
+            PolicyChoice::NumaBalancing,
+            PolicyChoice::AutoTiering,
+            PolicyChoice::Tpp,
+        ],
+        scale,
+    );
+    let cache1 = tiered_workloads::cache1(scale.ws_pages);
+    // AutoTiering refuses 1:4 — reproduce the paper's observation, then
+    // fall back to 2:1 for its row.
+    let at_on_1to4 = run_cell(
+        &cache1,
+        configs::one_to_four(cache1.working_set_pages()),
+        &PolicyChoice::AutoTiering,
+        scale.duration_ns,
+        scale.seed,
+    );
+    let unsupported = at_on_1to4.err();
+    let mut cache_cmp = compare(
+        &cache1,
+        || configs::one_to_four(cache1.working_set_pages()),
+        &[PolicyChoice::NumaBalancing, PolicyChoice::Tpp],
+        scale,
+    );
+    let at_on_2to1 = run_cell(
+        &cache1,
+        configs::two_to_one(cache1.working_set_pages()),
+        &PolicyChoice::AutoTiering,
+        scale.duration_ns,
+        scale.seed,
+    )
+    .expect("AutoTiering supports 2:1");
+    cache_cmp.cells.push(at_on_2to1);
+
+    let comparisons = vec![web_cmp, cache_cmp];
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        for r in &c.cells {
+            let config = if r.policy == "autotiering" && c.workload == "cache1" {
+                "2:1 (cannot run 1:4)"
+            } else if c.workload == "cache1" {
+                "1:4"
+            } else {
+                "2:1"
+            };
+            rows.push(vec![
+                c.workload.clone(),
+                r.policy.clone(),
+                config.to_string(),
+                pct(r.local_traffic),
+                pct(r.relative_throughput(&c.baseline)),
+                format!("{}", r.promoted()),
+                format!("{}", r.vmstat.get(VmEvent::NumaHintFaultsLocal)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 19 — TPP vs NUMA balancing vs AutoTiering",
+        &[
+            "workload",
+            "policy",
+            "config",
+            "local traffic",
+            "throughput vs all-local",
+            "promoted",
+            "wasted local hint faults",
+        ],
+        &rows,
+    );
+    if let Some(e) = unsupported {
+        println!("\nnote: {e}");
+    }
+    comparisons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full-figure runs are exercised by the integration tests and the
+    // `repro` binary at quick scale; here we only check plumbing.
+    #[test]
+    fn traffic_rows_shape() {
+        let scale = Scale { duration_ns: 2 * SEC, ws_pages: 1500, ..Scale::quick() };
+        let profile = tiered_workloads::uniform(scale.ws_pages);
+        let cmp = compare(
+            &profile,
+            || configs::two_to_one(scale.ws_pages),
+            &[PolicyChoice::Tpp],
+            &scale,
+        );
+        let rows = traffic_perf_rows(&[cmp]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), TRAFFIC_HEADER.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! # tpp-bench
+//!
+//! The benchmark harness of the TPP reproduction: one function per table
+//! and figure in the paper's evaluation, shared by the `repro` binary,
+//! the integration tests, and the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod charfig;
+pub mod evalfig;
+pub mod scale;
+pub mod sweeps;
+
+pub use scale::Scale;

@@ -1,0 +1,86 @@
+//! Machine configurations matching the paper's evaluation setups (§6.1):
+//! an all-local baseline, the 2:1 production target, and the 1:4 memory
+//! expansion configuration.
+
+use tiered_mem::{Memory, NodeKind};
+
+/// Headroom factor: the paper's workloads consume 95–98% of system
+/// capacity, so machines are sized ~5% above the working set.
+const CAPACITY_SLACK_PCT: u64 = 105;
+
+/// The "all from local" baseline: a single CPU-attached node large enough
+/// to hold the entire working set comfortably.
+pub fn all_local(ws_pages: u64) -> Memory {
+    let cap = ws_pages * 120 / 100;
+    Memory::builder()
+        .node(NodeKind::LocalDram, cap.max(64))
+        .swap_pages(ws_pages * 4)
+        .build()
+}
+
+/// A machine with `local_parts : cxl_parts` capacity split, sized so the
+/// total is ~105% of the working set.
+pub fn ratio(ws_pages: u64, local_parts: u64, cxl_parts: u64) -> Memory {
+    assert!(local_parts > 0 && cxl_parts > 0, "both tiers need capacity");
+    let total = ws_pages * CAPACITY_SLACK_PCT / 100;
+    let local = total * local_parts / (local_parts + cxl_parts);
+    let cxl = total - local;
+    Memory::builder()
+        .node(NodeKind::LocalDram, local.max(64))
+        .node(NodeKind::Cxl, cxl.max(64))
+        .swap_pages(ws_pages * 4)
+        .build()
+}
+
+/// The production target: local:CXL = 2:1 (§6.2.1).
+pub fn two_to_one(ws_pages: u64) -> Memory {
+    ratio(ws_pages, 2, 1)
+}
+
+/// The memory-expansion stress setup: local:CXL = 1:4, i.e. the local
+/// node holds only ~20% of the working set (§6.2.2).
+pub fn one_to_four(ws_pages: u64) -> Memory {
+    ratio(ws_pages, 1, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::NodeId;
+
+    #[test]
+    fn ratios_split_capacity_as_labelled() {
+        let m = two_to_one(30_000);
+        let local = m.capacity(NodeId(0));
+        let cxl = m.capacity(NodeId(1));
+        let r = local as f64 / cxl as f64;
+        assert!((1.9..2.1).contains(&r), "2:1 ratio got {r}");
+
+        let m = one_to_four(30_000);
+        let r = m.capacity(NodeId(1)) as f64 / m.capacity(NodeId(0)) as f64;
+        assert!((3.9..4.1).contains(&r), "1:4 ratio got {r}");
+    }
+
+    #[test]
+    fn total_capacity_slightly_exceeds_working_set() {
+        for m in [two_to_one(50_000), one_to_four(50_000)] {
+            let total = m.total_capacity();
+            assert!(total > 50_000);
+            assert!(total < 60_000);
+        }
+    }
+
+    #[test]
+    fn all_local_is_single_node() {
+        let m = all_local(10_000);
+        assert_eq!(m.node_count(), 1);
+        assert!(m.capacity(NodeId(0)) >= 12_000);
+        assert!(m.cxl_nodes().is_empty());
+    }
+
+    #[test]
+    fn tiny_working_sets_get_floor_capacity() {
+        let m = ratio(100, 1, 4);
+        assert!(m.capacity(NodeId(0)) >= 64);
+    }
+}

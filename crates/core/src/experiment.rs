@@ -1,0 +1,214 @@
+//! The experiment harness: runs (workload × machine × policy) cells and
+//! reduces them to the quantities the paper's figures report.
+
+use tiered_mem::{Memory, NodeId, VmEvent, VmStat};
+use tiered_workloads::WorkloadProfile;
+
+use crate::metrics::RunMetrics;
+use crate::policy::{
+    AutoTiering, InMemorySwap, LinuxDefault, NumaBalancing, PlacementPolicy, Tpp, TppConfig,
+    UnsupportedConfig,
+};
+use crate::system::System;
+
+/// A buildable policy selection (policies themselves are not `Clone`, so
+/// sweeps carry this factory instead).
+#[derive(Clone, Debug)]
+pub enum PolicyChoice {
+    /// Default Linux kernel behaviour.
+    Linux,
+    /// Default NUMA balancing.
+    NumaBalancing,
+    /// The AutoTiering baseline.
+    AutoTiering,
+    /// TPP with paper-default settings.
+    Tpp,
+    /// TPP with explicit knobs (ablations, page-type-aware allocation).
+    TppCustom(TppConfig),
+    /// zswap/zram-style in-memory swapping (extra baseline, paper §7).
+    InMemorySwap,
+}
+
+impl PolicyChoice {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyChoice::Linux => Box::new(LinuxDefault::new()),
+            PolicyChoice::NumaBalancing => Box::new(NumaBalancing::new()),
+            PolicyChoice::AutoTiering => Box::new(AutoTiering::new()),
+            PolicyChoice::Tpp => Box::new(Tpp::new()),
+            PolicyChoice::TppCustom(cfg) => Box::new(Tpp::with_config(*cfg)),
+            PolicyChoice::InMemorySwap => Box::new(InMemorySwap::new()),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyChoice::Linux => "linux",
+            PolicyChoice::NumaBalancing => "numa_balancing",
+            PolicyChoice::AutoTiering => "autotiering",
+            PolicyChoice::Tpp => "tpp",
+            PolicyChoice::TppCustom(_) => "tpp*",
+            PolicyChoice::InMemorySwap => "inmem_swap",
+        }
+    }
+}
+
+/// The reduced outcome of one experiment cell.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Policy label.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Steady-state throughput, ops/s (second half of the run).
+    pub throughput: f64,
+    /// Steady-state fraction of accesses served locally.
+    pub local_traffic: f64,
+    /// Fraction of resident anon pages on the local node at run end.
+    pub anon_resident_local: f64,
+    /// Fraction of resident file pages on the local node at run end.
+    pub file_resident_local: f64,
+    /// Mean access latency over the run, ns.
+    pub avg_latency_ns: f64,
+    /// Final vmstat counters.
+    pub vmstat: VmStat,
+    /// Full time series for figure rendering.
+    pub metrics: RunMetrics,
+    /// Simulated run duration, ns.
+    pub duration_ns: u64,
+}
+
+impl ExperimentResult {
+    /// Throughput of this run relative to `baseline` (1.0 = equal).
+    pub fn relative_throughput(&self, baseline: &ExperimentResult) -> f64 {
+        if baseline.throughput == 0.0 {
+            0.0
+        } else {
+            self.throughput / baseline.throughput
+        }
+    }
+
+    /// Total pages demoted during the run.
+    pub fn demoted(&self) -> u64 {
+        self.vmstat.demoted_total()
+    }
+
+    /// Total pages promoted during the run.
+    pub fn promoted(&self) -> u64 {
+        self.vmstat.promoted_total()
+    }
+
+    /// Pages written to swap during the run.
+    pub fn swap_outs(&self) -> u64 {
+        self.vmstat.get(VmEvent::PswpOut)
+    }
+}
+
+/// Runs one cell: `profile` on `memory` under `choice` for `duration_ns`
+/// simulated time. Steady-state quantities are measured over the second
+/// half of the run.
+///
+/// # Errors
+///
+/// [`UnsupportedConfig`] if the policy rejects the machine.
+pub fn run_cell(
+    profile: &WorkloadProfile,
+    memory: Memory,
+    choice: &PolicyChoice,
+    duration_ns: u64,
+    seed: u64,
+) -> Result<ExperimentResult, UnsupportedConfig> {
+    let workload = profile.build();
+    let mut system = System::new(memory, choice.build(), Box::new(workload), seed)?;
+    system.run(duration_ns);
+    Ok(reduce(system, choice.label(), &profile.name, duration_ns))
+}
+
+/// Reduces a finished system run to an [`ExperimentResult`].
+pub fn reduce(
+    system: System,
+    policy: &str,
+    workload: &str,
+    duration_ns: u64,
+) -> ExperimentResult {
+    let half = duration_ns / 2;
+    let metrics = system.metrics().clone();
+    let memory = system.memory();
+    let (mut anon_local, mut file_local) = (0u64, 0u64);
+    let (mut anon_total, mut file_total) = (0u64, 0u64);
+    for i in 0..memory.node_count() {
+        let node = NodeId(i as u8);
+        let (a, f) = memory.node_usage(node);
+        anon_total += a;
+        file_total += f;
+        if !memory.node(node).is_cpu_less() {
+            anon_local += a;
+            file_local += f;
+        }
+    }
+    ExperimentResult {
+        policy: policy.to_string(),
+        workload: workload.to_string(),
+        throughput: metrics.steady_throughput(half, u64::MAX),
+        local_traffic: metrics.steady_local_traffic(half, u64::MAX),
+        anon_resident_local: tiered_sim::fraction(anon_local, anon_total),
+        file_resident_local: tiered_sim::fraction(file_local, file_total),
+        avg_latency_ns: metrics.avg_access_latency_ns(),
+        vmstat: memory.vmstat().clone(),
+        metrics,
+        duration_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use tiered_sim::SEC;
+
+    #[test]
+    fn cells_run_and_reduce() {
+        let profile = tiered_workloads::uniform(2_000);
+        let memory = configs::two_to_one(2_500);
+        let r = run_cell(&profile, memory, &PolicyChoice::Tpp, 2 * SEC, 1).unwrap();
+        assert_eq!(r.policy, "tpp");
+        assert_eq!(r.workload, "uniform");
+        assert!(r.throughput > 0.0);
+        assert!((0.0..=1.0).contains(&r.local_traffic));
+        assert!((0.0..=1.0).contains(&r.anon_resident_local));
+        assert!(r.avg_latency_ns >= 100.0);
+    }
+
+    #[test]
+    fn autotiering_rejects_one_to_four() {
+        let profile = tiered_workloads::uniform(2_000);
+        let memory = configs::one_to_four(2_500);
+        let err = run_cell(&profile, memory, &PolicyChoice::AutoTiering, SEC, 1).unwrap_err();
+        assert_eq!(err.policy, "autotiering");
+    }
+
+    #[test]
+    fn relative_throughput_math() {
+        let profile = tiered_workloads::uniform(1_000);
+        let memory = configs::all_local(1_000);
+        let a = run_cell(&profile, memory.clone(), &PolicyChoice::Linux, SEC, 1).unwrap();
+        let rel = a.relative_throughput(&a);
+        assert!((rel - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_choice_labels_and_builders_agree() {
+        for choice in [
+            PolicyChoice::Linux,
+            PolicyChoice::NumaBalancing,
+            PolicyChoice::AutoTiering,
+            PolicyChoice::Tpp,
+            PolicyChoice::InMemorySwap,
+        ] {
+            let built = choice.build();
+            assert_eq!(built.name(), choice.label());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Run metrics: the measurements behind every evaluation figure —
+//! throughput, per-node traffic split, residency by page type, and
+//! promotion/demotion rates derived from vmstat deltas.
+
+use tiered_mem::{Memory, NodeId, VmEvent, VmStat};
+use tiered_sim::{fraction, rate_per_sec, LogHistogram, TimeSeries, SEC};
+
+/// Everything measured during a [`crate::System`] run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Application operations completed.
+    pub ops_completed: u64,
+    /// Total wall time of completed ops (CPU + memory stalls), ns.
+    pub total_op_ns: u64,
+    /// Total memory-stall time, ns.
+    pub total_mem_ns: u64,
+    /// Total page accesses.
+    pub accesses: u64,
+    /// Accesses served by CPU-attached nodes.
+    pub local_accesses: u64,
+    /// Accesses served by CXL nodes.
+    pub cxl_accesses: u64,
+    /// Anon accesses served locally / in total.
+    pub anon_local_accesses: u64,
+    /// Total anon accesses.
+    pub anon_accesses: u64,
+    /// Sum of access latencies, ns (for average access latency).
+    pub access_latency_ns: u64,
+
+    /// Throughput per sample window (ops/s).
+    pub throughput: TimeSeries,
+    /// Fraction of accesses served locally per window.
+    pub local_traffic: TimeSeries,
+    /// Promotion rate per window (pages/s).
+    pub promotion_rate: TimeSeries,
+    /// Demotion rate per window (pages/s).
+    pub demotion_rate: TimeSeries,
+    /// Local allocation rate per window (pages/s).
+    pub alloc_local_rate: TimeSeries,
+    /// Reclaim (steal) rate per window (pages/s).
+    pub reclaim_rate: TimeSeries,
+    /// Swap-out rate per window (pages/s).
+    pub swap_out_rate: TimeSeries,
+    /// Anon pages resident on the first local node per window.
+    pub local_anon_pages: TimeSeries,
+    /// File pages resident on the first local node per window.
+    pub local_file_pages: TimeSeries,
+    /// Free pages on the first local node per window.
+    pub local_free_pages: TimeSeries,
+    /// Distribution of op wall times (CPU + memory stalls), for tail
+    /// latency (p99) reporting.
+    pub op_latency: LogHistogram,
+
+    last_vmstat: VmStat,
+    last_sample_ns: u64,
+    window_ops: u64,
+    window_accesses: u64,
+    window_local: u64,
+}
+
+impl RunMetrics {
+    /// Creates a zeroed metrics recorder.
+    pub fn new() -> RunMetrics {
+        RunMetrics {
+            ops_completed: 0,
+            total_op_ns: 0,
+            total_mem_ns: 0,
+            accesses: 0,
+            local_accesses: 0,
+            cxl_accesses: 0,
+            anon_local_accesses: 0,
+            anon_accesses: 0,
+            access_latency_ns: 0,
+            throughput: TimeSeries::new("throughput_ops_s"),
+            local_traffic: TimeSeries::new("local_traffic_frac"),
+            promotion_rate: TimeSeries::new("promotion_pages_s"),
+            demotion_rate: TimeSeries::new("demotion_pages_s"),
+            alloc_local_rate: TimeSeries::new("alloc_local_pages_s"),
+            reclaim_rate: TimeSeries::new("reclaim_pages_s"),
+            swap_out_rate: TimeSeries::new("swap_out_pages_s"),
+            local_anon_pages: TimeSeries::new("local_anon_pages"),
+            local_file_pages: TimeSeries::new("local_file_pages"),
+            local_free_pages: TimeSeries::new("local_free_pages"),
+            op_latency: LogHistogram::new(),
+            last_vmstat: VmStat::new(),
+            last_sample_ns: 0,
+            window_ops: 0,
+            window_accesses: 0,
+            window_local: 0,
+        }
+    }
+
+    /// Records one completed op.
+    pub fn note_op(&mut self, op_ns: u64, mem_ns: u64) {
+        self.ops_completed += 1;
+        self.window_ops += 1;
+        self.total_op_ns += op_ns;
+        self.total_mem_ns += mem_ns;
+        self.op_latency.record(op_ns);
+    }
+
+    /// Records one access served by `node`.
+    pub fn note_access(&mut self, is_local: bool, is_anon: bool, latency_ns: u64) {
+        self.accesses += 1;
+        self.window_accesses += 1;
+        self.access_latency_ns += latency_ns;
+        if is_local {
+            self.local_accesses += 1;
+            self.window_local += 1;
+        } else {
+            self.cxl_accesses += 1;
+        }
+        if is_anon {
+            self.anon_accesses += 1;
+            if is_local {
+                self.anon_local_accesses += 1;
+            }
+        }
+    }
+
+    /// Takes a sample at `now_ns`: window rates plus memory-state gauges.
+    pub fn sample(&mut self, now_ns: u64, memory: &Memory) {
+        let interval = now_ns.saturating_sub(self.last_sample_ns).max(1);
+        let vm = memory.vmstat().clone();
+        let d = vm.delta_since(&self.last_vmstat);
+        self.throughput
+            .record(now_ns, rate_per_sec(self.window_ops, interval));
+        self.local_traffic
+            .record(now_ns, fraction(self.window_local, self.window_accesses));
+        self.promotion_rate
+            .record(now_ns, rate_per_sec(d.promoted_total(), interval));
+        self.demotion_rate
+            .record(now_ns, rate_per_sec(d.demoted_total(), interval));
+        self.alloc_local_rate
+            .record(now_ns, rate_per_sec(d.get(VmEvent::PgAllocLocal), interval));
+        self.reclaim_rate
+            .record(now_ns, rate_per_sec(d.get(VmEvent::PgSteal), interval));
+        self.swap_out_rate
+            .record(now_ns, rate_per_sec(d.get(VmEvent::PswpOut), interval));
+        let local = memory
+            .local_nodes()
+            .first()
+            .copied()
+            .unwrap_or(NodeId::LOCAL);
+        let (anon, file) = memory.node_usage(local);
+        self.local_anon_pages.record(now_ns, anon as f64);
+        self.local_file_pages.record(now_ns, file as f64);
+        self.local_free_pages
+            .record(now_ns, memory.free_pages(local) as f64);
+        self.last_vmstat = vm;
+        self.last_sample_ns = now_ns;
+        self.window_ops = 0;
+        self.window_accesses = 0;
+        self.window_local = 0;
+    }
+
+    /// Fraction of all accesses served locally over the whole run.
+    pub fn local_traffic_fraction(&self) -> f64 {
+        fraction(self.local_accesses, self.accesses)
+    }
+
+    /// Fraction of anon accesses served locally over the whole run.
+    pub fn anon_local_fraction(&self) -> f64 {
+        fraction(self.anon_local_accesses, self.anon_accesses)
+    }
+
+    /// Mean access latency over the whole run, ns.
+    pub fn avg_access_latency_ns(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.access_latency_ns as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean throughput (ops/s) between `start_ns` and `end_ns` — used to
+    /// measure the steady-state window, excluding warm-up.
+    pub fn steady_throughput(&self, start_ns: u64, end_ns: u64) -> f64 {
+        self.throughput.mean_between(start_ns, end_ns).unwrap_or(0.0)
+    }
+
+    /// Mean local-traffic fraction between `start_ns` and `end_ns`.
+    pub fn steady_local_traffic(&self, start_ns: u64, end_ns: u64) -> f64 {
+        self.local_traffic.mean_between(start_ns, end_ns).unwrap_or(0.0)
+    }
+
+    /// Approximate p99 op latency in nanoseconds.
+    pub fn p99_op_latency_ns(&self) -> u64 {
+        self.op_latency.percentile(0.99)
+    }
+
+    /// Convenience: sample window aligned to seconds.
+    pub fn sample_period_ns() -> u64 {
+        SEC
+    }
+}
+
+impl Default for RunMetrics {
+    fn default() -> RunMetrics {
+        RunMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::{NodeKind, PageType, Pid, Vpn};
+
+    #[test]
+    fn access_accounting() {
+        let mut m = RunMetrics::new();
+        m.note_access(true, true, 100);
+        m.note_access(false, true, 185);
+        m.note_access(true, false, 100);
+        assert_eq!(m.accesses, 3);
+        m.note_op(1_000, 100);
+        m.note_op(100_000, 90_000);
+        assert!(m.p99_op_latency_ns() >= 100_000);
+        assert!((m.local_traffic_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.anon_local_fraction(), 0.5);
+        assert!((m.avg_access_latency_ns() - 128.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampling_computes_window_rates() {
+        let mut metrics = RunMetrics::new();
+        let mut mem = Memory::builder().node(NodeKind::LocalDram, 32).build();
+        mem.create_process(Pid(1));
+        metrics.sample(0, &mem);
+        for _ in 0..10 {
+            metrics.note_op(1000, 100);
+        }
+        mem.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        metrics.sample(SEC, &mem);
+        // 10 ops in 1 s window.
+        assert_eq!(*metrics.throughput.values().last().unwrap(), 10.0);
+        assert_eq!(*metrics.alloc_local_rate.values().last().unwrap(), 1.0);
+        assert_eq!(*metrics.local_anon_pages.values().last().unwrap(), 1.0);
+        // Window counters reset.
+        metrics.sample(2 * SEC, &mem);
+        assert_eq!(*metrics.throughput.values().last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn steady_window_means() {
+        let mut metrics = RunMetrics::new();
+        let mem = Memory::builder().node(NodeKind::LocalDram, 32).build();
+        for i in 1..=4u64 {
+            for _ in 0..(i * 10) {
+                metrics.note_op(100, 10);
+            }
+            metrics.sample(i * SEC, &mem);
+        }
+        // Windows hold 10, 20, 30, 40 ops/s; steady over the last two.
+        assert_eq!(metrics.steady_throughput(2 * SEC + 1, 5 * SEC), 35.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! An in-memory-swap baseline (zswap/zram-style), the alternative the
+//! paper's related-work section argues against (§7): cold pages are
+//! "swapped" into a fast in-memory pool (here: CXL-backed, so swap I/O
+//! costs are copy-like rather than disk-like), but **every access to a
+//! swapped-out page takes a page fault** and must be brought back before
+//! use.
+//!
+//! The paper's point, which the evaluation here reproduces: when
+//! CXL-Memory is part of the main memory (TPP), less frequently accessed
+//! pages can live there and still be accessed directly with no fault;
+//! with in-memory swapping, pages of intermediate temperature bounce
+//! through the fault path on every cold re-access, which hurts workloads
+//! that touch pages at varied frequencies.
+
+use tiered_mem::{NodeId, PageLocation, PageType, Pid, VmEvent, Vpn};
+use tiered_sim::MS;
+
+use super::linux_default::{materialise_cost_ns, try_place};
+use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+
+/// Configuration for [`InMemorySwap`].
+#[derive(Clone, Copy, Debug)]
+pub struct InMemorySwapConfig {
+    /// Cost of compressing/copying one page out to the in-memory pool.
+    pub swap_out_ns: u64,
+    /// Cost of bringing one page back (fault handling + copy).
+    pub swap_in_ns: u64,
+    /// Reclaim daemon budget (generous: in-memory swap is cheap).
+    pub budget: DaemonBudget,
+    /// Daemon wakeup period.
+    pub tick_period_ns: u64,
+}
+
+impl Default for InMemorySwapConfig {
+    fn default() -> InMemorySwapConfig {
+        InMemorySwapConfig {
+            swap_out_ns: 4_000,
+            swap_in_ns: 6_000,
+            budget: DaemonBudget { scan_pages: 512, time_ns: 5_000_000 },
+            tick_period_ns: 50 * MS,
+        }
+    }
+}
+
+/// zswap-style placement: reclaim to a fast in-memory pool, fault pages
+/// back on access, no migration and no NUMA awareness.
+#[derive(Clone, Debug, Default)]
+pub struct InMemorySwap {
+    config: InMemorySwapConfig,
+}
+
+impl InMemorySwap {
+    /// Creates the policy with default knobs.
+    pub fn new() -> InMemorySwap {
+        InMemorySwap { config: InMemorySwapConfig::default() }
+    }
+
+    /// Creates the policy with explicit knobs.
+    pub fn with_config(config: InMemorySwapConfig) -> InMemorySwap {
+        InMemorySwap { config }
+    }
+}
+
+impl PlacementPolicy for InMemorySwap {
+    fn name(&self) -> &str {
+        "inmem_swap"
+    }
+
+    fn handle_fault(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        pid: Pid,
+        vpn: Vpn,
+        page_type: PageType,
+    ) -> FaultOutcome {
+        let prefer = preferred_local_node(ctx.memory);
+        let was_swapped = matches!(
+            ctx.memory.space(pid).translate(vpn),
+            Some(PageLocation::Swapped(_))
+        );
+        // Swap-ins come back fast (in-memory pool), everything else costs
+        // what it normally costs.
+        let base_cost = if was_swapped {
+            ctx.latency.hint_fault_ns + self.config.swap_in_ns
+        } else {
+            materialise_cost_ns(ctx.latency, page_type, false)
+        };
+        for node in ctx.memory.fallback_order(prefer) {
+            let wm = ctx.memory.node(node).watermarks().base;
+            if !wm.allows_allocation(ctx.memory.free_pages(node)) {
+                continue;
+            }
+            if let Some(pfn) = try_place(ctx.memory, node, pid, vpn, page_type, was_swapped) {
+                return FaultOutcome { pfn, cost_ns: base_cost };
+            }
+        }
+        // Synchronous reclaim into the pool (fast), escalating the scan
+        // budget like direct reclaim does until at least one page frees.
+        ctx.memory.vmstat_mut().count(VmEvent::PgAllocStall);
+        let mut cost = base_cost;
+        let node_pages = ctx.memory.capacity(prefer) as usize;
+        let mut scan_budget = 512usize;
+        loop {
+            let victims =
+                select_victims(ctx.memory, prefer, 32, scan_budget, VictimClass::AnonAndFile);
+            let mut freed = 0usize;
+            for v in victims {
+                if ctx.memory.swap_out(v).is_ok() {
+                    ctx.memory.vmstat_mut().count(VmEvent::PgSteal);
+                    cost += self.config.swap_out_ns;
+                    freed += 1;
+                }
+            }
+            if freed > 0 || scan_budget >= node_pages {
+                break;
+            }
+            scan_budget = (scan_budget * 8).min(node_pages);
+        }
+        for node in ctx.memory.fallback_order(prefer) {
+            if let Some(pfn) = try_place(ctx.memory, node, pid, vpn, page_type, was_swapped) {
+                return FaultOutcome { pfn, cost_ns: cost };
+            }
+        }
+        panic!("simulated OOM under in-memory swap: {pid}:{vpn}");
+    }
+
+    fn tick(&mut self, ctx: &mut PolicyCtx<'_>) {
+        for i in 0..ctx.memory.node_count() {
+            let node = NodeId(i as u8);
+            let wm = ctx.memory.node(node).watermarks().base;
+            if !wm.needs_reclaim(ctx.memory.free_pages(node)) {
+                continue;
+            }
+            let mut time_left = self.config.budget.time_ns;
+            while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
+                let want = (wm.high - ctx.memory.free_pages(node)).min(64) as usize;
+                let victims = select_victims(
+                    ctx.memory,
+                    node,
+                    want,
+                    self.config.budget.scan_pages as usize,
+                    VictimClass::AnonAndFile,
+                );
+                if victims.is_empty() {
+                    break;
+                }
+                let mut progressed = false;
+                for pfn in victims {
+                    // Everything goes to the in-memory pool, even file
+                    // pages (zram holds any page).
+                    if ctx.memory.swap_out(pfn).is_err() {
+                        time_left = 0;
+                        break;
+                    }
+                    ctx.memory.vmstat_mut().count(VmEvent::PgSteal);
+                    if self.config.swap_out_ns > time_left {
+                        time_left = 0;
+                        break;
+                    }
+                    time_left -= self.config.swap_out_ns;
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn tick_period_ns(&self) -> u64 {
+        self.config.tick_period_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::{Memory, NodeKind};
+    use tiered_sim::{LatencyModel, SimRng};
+
+    fn setup() -> (Memory, LatencyModel, SimRng, InMemorySwap) {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 64)
+            .node(NodeKind::Cxl, 64)
+            .swap_pages(1024)
+            .build();
+        m.create_process(Pid(1));
+        (m, LatencyModel::datacenter(), SimRng::seed(1), InMemorySwap::new())
+    }
+
+    #[test]
+    fn reclaim_swaps_everything_including_files() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        let min = m.node(NodeId(0)).watermarks().base.min;
+        for i in 0..(64 - min) {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::File);
+        }
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        p.tick(&mut ctx);
+        assert!(m.swap().used_slots() > 0, "files should land in the pool too");
+        assert_eq!(m.vmstat().get(VmEvent::PgDropFile), 0);
+        m.validate();
+    }
+
+    #[test]
+    fn swapped_page_faults_back_cheaply() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let out = p.handle_fault(&mut ctx, Pid(1), Vpn(7), PageType::Anon);
+        m.swap_out(out.pfn).unwrap();
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let back = p.handle_fault(&mut ctx, Pid(1), Vpn(7), PageType::Anon);
+        // Much cheaper than a disk swap-in, costlier than a plain touch.
+        assert!(back.cost_ns < lat.swap_in_total_ns() / 2);
+        assert!(back.cost_ns >= p.config.swap_in_ns);
+        m.validate();
+    }
+
+    #[test]
+    fn no_migration_ever_happens() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        for i in 0..50 {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::Anon);
+        }
+        for _ in 0..5 {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.tick(&mut ctx);
+        }
+        assert_eq!(m.vmstat().get(VmEvent::PgMigrateSuccess), 0);
+        assert_eq!(m.vmstat().demoted_total(), 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The default Linux kernel policy (paper §4.1): coupled allocation and
+//! reclamation around the classic watermarks, paging out to the swap
+//! device, allocation spilling to the next NUMA node under pressure — and
+//! no promotion mechanism at all, so pages allocated to the CXL node stay
+//! there forever.
+
+use tiered_mem::{
+    Memory, NodeId, PageFlags, PageLocation, PageType, Pfn, Pid, VmEvent, Vpn,
+};
+use tiered_sim::{LatencyModel, MS};
+
+use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+
+/// Configuration for [`LinuxDefault`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinuxDefaultConfig {
+    /// kswapd's per-wakeup budget.
+    pub kswapd_budget: DaemonBudget,
+    /// Daemon wakeup period.
+    pub tick_period_ns: u64,
+}
+
+impl Default for LinuxDefaultConfig {
+    fn default() -> LinuxDefaultConfig {
+        LinuxDefaultConfig {
+            kswapd_budget: DaemonBudget::kswapd(),
+            tick_period_ns: 50 * MS,
+        }
+    }
+}
+
+/// Default Linux page placement.
+#[derive(Clone, Debug, Default)]
+pub struct LinuxDefault {
+    config: LinuxDefaultConfig,
+    kswapd_active: Vec<bool>,
+}
+
+impl LinuxDefault {
+    /// Creates the policy with default knobs.
+    pub fn new() -> LinuxDefault {
+        LinuxDefault { config: LinuxDefaultConfig::default(), kswapd_active: Vec::new() }
+    }
+
+    /// Creates the policy with explicit knobs.
+    pub fn with_config(config: LinuxDefaultConfig) -> LinuxDefault {
+        LinuxDefault { config, kswapd_active: Vec::new() }
+    }
+}
+
+impl PlacementPolicy for LinuxDefault {
+    fn name(&self) -> &str {
+        "linux"
+    }
+
+    fn handle_fault(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        pid: Pid,
+        vpn: Vpn,
+        page_type: PageType,
+    ) -> FaultOutcome {
+        let prefer = preferred_local_node(ctx.memory);
+        fault_with_fallback(ctx, pid, vpn, page_type, prefer)
+    }
+
+    fn tick(&mut self, ctx: &mut PolicyCtx<'_>) {
+        // kswapd: one pass per node whose reclaimer is (or becomes) awake.
+        self.kswapd_active.resize(ctx.memory.node_count(), false);
+        for i in 0..ctx.memory.node_count() {
+            let node = NodeId(i as u8);
+            kswapd_pass(
+                ctx.memory,
+                ctx.latency,
+                node,
+                self.config.kswapd_budget,
+                &mut self.kswapd_active[i],
+            );
+        }
+    }
+
+    fn tick_period_ns(&self) -> u64 {
+        self.config.tick_period_ns
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared mechanics, reused by the other policies.
+// ---------------------------------------------------------------------
+
+/// Cost charged to a faulting task for materialising a page of
+/// `page_type` (`was_swapped` selects the swap-in path).
+///
+/// File pages are read from the filesystem on (re-)fault — a device read,
+/// not a zero-fill — which is why dropping page cache that will be
+/// re-accessed is expensive, and why TPP's keep-it-in-memory demotion
+/// wins (§5.1).
+pub(crate) fn materialise_cost_ns(
+    latency: &LatencyModel,
+    page_type: PageType,
+    was_swapped: bool,
+) -> u64 {
+    if was_swapped {
+        latency.swap_in_total_ns()
+    } else {
+        match page_type {
+            PageType::File => latency.major_fault_ns + latency.swap_in_page_ns,
+            PageType::Anon | PageType::Tmpfs => latency.minor_fault_ns,
+        }
+    }
+}
+
+/// The default-kernel fault path: try each node in fallback order above
+/// its `min` watermark; fall back to direct reclaim on the preferred node
+/// when everything is below `min`.
+pub(crate) fn fault_with_fallback(
+    ctx: &mut PolicyCtx<'_>,
+    pid: Pid,
+    vpn: Vpn,
+    page_type: PageType,
+    prefer: NodeId,
+) -> FaultOutcome {
+    let was_swapped = matches!(
+        ctx.memory.space(pid).translate(vpn),
+        Some(PageLocation::Swapped(_))
+    );
+    let base_cost = materialise_cost_ns(ctx.latency, page_type, was_swapped);
+    let order = ctx.memory.fallback_order(prefer);
+    for node in &order {
+        let wm = ctx.memory.node(*node).watermarks().base;
+        if !wm.allows_allocation(ctx.memory.free_pages(*node)) {
+            continue;
+        }
+        if let Some(pfn) = try_place(ctx.memory, *node, pid, vpn, page_type, was_swapped) {
+            return FaultOutcome { pfn, cost_ns: base_cost };
+        }
+    }
+    // Every node is under its min watermark: direct reclaim on the
+    // preferred node, charged to the task.
+    ctx.memory.vmstat_mut().count(VmEvent::PgAllocStall);
+    let reclaim_cost = direct_reclaim(ctx.memory, ctx.latency, prefer, 32);
+    for node in &order {
+        if let Some(pfn) = try_place(ctx.memory, *node, pid, vpn, page_type, was_swapped) {
+            return FaultOutcome { pfn, cost_ns: base_cost + reclaim_cost };
+        }
+    }
+    panic!("simulated OOM: no node can host {pid}:{vpn} even after direct reclaim");
+}
+
+/// Attempts the actual placement on `node` (swap-in or fresh mapping).
+pub(crate) fn try_place(
+    memory: &mut Memory,
+    node: NodeId,
+    pid: Pid,
+    vpn: Vpn,
+    page_type: PageType,
+    was_swapped: bool,
+) -> Option<Pfn> {
+    memory.vmstat_mut().count(VmEvent::PgFault);
+    let res = if was_swapped {
+        memory.swap_in(pid, vpn, node, page_type)
+    } else {
+        memory.alloc_and_map(node, pid, vpn, page_type)
+    };
+    res.ok()
+}
+
+/// Evicts one page the default-kernel way. Returns the daemon time spent,
+/// or `None` if the page could not be evicted (swap full).
+///
+/// * anon and tmpfs pages are written to swap,
+/// * dirty file pages pay a writeback before being dropped,
+/// * clean file pages are dropped for free.
+pub(crate) fn evict_page(
+    memory: &mut Memory,
+    latency: &LatencyModel,
+    pfn: Pfn,
+) -> Option<u64> {
+    let frame = memory.frames().frame(pfn);
+    let page_type = frame.page_type();
+    let dirty = frame.flags().contains(PageFlags::DIRTY);
+    match page_type {
+        PageType::Anon | PageType::Tmpfs => match memory.swap_out(pfn) {
+            Ok(_) => {
+                memory.vmstat_mut().count(VmEvent::PgSteal);
+                Some(latency.swap_out_page_ns)
+            }
+            Err(_) => None,
+        },
+        PageType::File => {
+            memory.drop_file_page(pfn);
+            memory.vmstat_mut().count(VmEvent::PgSteal);
+            Some(if dirty { latency.swap_out_page_ns } else { latency.scan_page_ns })
+        }
+    }
+}
+
+/// One kswapd wakeup on `node`, with wake/sleep hysteresis carried in
+/// `active`: kswapd wakes when free pages drop below `low` and keeps
+/// processing one scan batch per wakeup until free pages reach a boosted
+/// target slightly *above* `high` — which is what lets NUMA balancing's
+/// `free > high` promotion check occasionally pass on a busy node.
+///
+/// Each wakeup processes a *single* batch (`SWAP_CLUSTER_MAX`-style),
+/// bounded by both the scan and time budgets — the kernel's
+/// priority-based throttling, and what allocation surges outrun (§4.1:
+/// "with high allocation rate, reclamation may fail to cope up").
+pub(crate) fn kswapd_pass(
+    memory: &mut Memory,
+    latency: &LatencyModel,
+    node: NodeId,
+    budget: DaemonBudget,
+    active: &mut bool,
+) -> u64 {
+    let wm = memory.node(node).watermarks().base;
+    let free = memory.free_pages(node);
+    let boost_target = wm.high + (wm.high - wm.low).max(1);
+    if !*active {
+        if !wm.needs_reclaim(free) {
+            return 0;
+        }
+        *active = true;
+    } else if free >= boost_target {
+        *active = false;
+        return 0;
+    }
+    let mut time_left = budget.time_ns;
+    let mut reclaimed = 0u64;
+    let want = (boost_target.saturating_sub(free)).min(32) as usize;
+    let victims = select_victims(
+        memory,
+        node,
+        want,
+        budget.scan_pages as usize,
+        VictimClass::AnonAndFile,
+    );
+    for pfn in victims {
+        match evict_page(memory, latency, pfn) {
+            Some(cost) if cost <= time_left => {
+                time_left -= cost;
+                reclaimed += 1;
+            }
+            Some(_) | None => break,
+        }
+    }
+    reclaimed
+}
+
+/// Synchronous direct reclaim of up to `want` pages on `node`; returns
+/// the latency charged to the allocating task.
+///
+/// Escalates the scan budget (the kernel's reclaim-priority analogue)
+/// until at least one page is freed or the whole node has been scanned —
+/// direct reclaim must make forward progress or the allocation OOMs.
+pub(crate) fn direct_reclaim(
+    memory: &mut Memory,
+    latency: &LatencyModel,
+    node: NodeId,
+    want: usize,
+) -> u64 {
+    let mut cost = 0u64;
+    let node_pages = memory.capacity(node) as usize;
+    let mut scan_budget = want * 8;
+    loop {
+        let victims = select_victims(memory, node, want, scan_budget, VictimClass::AnonAndFile);
+        let mut freed = 0usize;
+        for pfn in victims {
+            if let Some(c) = evict_page(memory, latency, pfn) {
+                cost += c;
+                freed += 1;
+            }
+        }
+        if freed > 0 || scan_budget >= node_pages {
+            return cost;
+        }
+        scan_budget = (scan_budget * 8).min(node_pages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::NodeKind;
+    use tiered_sim::SimRng;
+
+    fn ctx_parts() -> (Memory, LatencyModel, SimRng) {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 64)
+            .node(NodeKind::Cxl, 256)
+            .swap_pages(1024)
+            .build();
+        m.create_process(Pid(1));
+        (m, LatencyModel::datacenter(), SimRng::seed(7))
+    }
+
+    fn fault(
+        policy: &mut LinuxDefault,
+        m: &mut Memory,
+        lat: &LatencyModel,
+        rng: &mut SimRng,
+        vpn: u64,
+        t: PageType,
+    ) -> FaultOutcome {
+        let mut ctx = PolicyCtx { memory: m, latency: lat, now_ns: 0, rng };
+        policy.handle_fault(&mut ctx, Pid(1), Vpn(vpn), t)
+    }
+
+    #[test]
+    fn faults_fill_local_node_first() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 0, PageType::Anon);
+        assert_eq!(m.frames().frame(out.pfn).node(), NodeId(0));
+        assert_eq!(out.cost_ns, lat.minor_fault_ns);
+    }
+
+    #[test]
+    fn file_faults_pay_a_disk_read() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 0, PageType::File);
+        assert_eq!(out.cost_ns, lat.major_fault_ns + lat.swap_in_page_ns);
+    }
+
+    #[test]
+    fn allocation_spills_to_cxl_below_min_watermark() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        let min = m.node(NodeId(0)).watermarks().base.min;
+        // Fill the local node down to its min watermark.
+        let fill = 64 - min;
+        for i in 0..fill {
+            fault(&mut p, &mut m, &lat, &mut rng, i, PageType::Anon);
+        }
+        assert_eq!(m.free_pages(NodeId(0)), min);
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 10_000, PageType::Anon);
+        assert_eq!(m.frames().frame(out.pfn).node(), NodeId(1));
+        assert!(m.vmstat().get(VmEvent::PgAllocRemote) >= 1);
+        m.validate();
+    }
+
+    #[test]
+    fn kswapd_reclaims_to_high_watermark() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        // Fill local with cold anon pages.
+        let min = m.node(NodeId(0)).watermarks().base.min;
+        for i in 0..(64 - min) {
+            fault(&mut p, &mut m, &lat, &mut rng, i, PageType::Anon);
+        }
+        let wm = m.node(NodeId(0)).watermarks().base;
+        assert!(wm.needs_reclaim(m.free_pages(NodeId(0))));
+        // Run several daemon ticks.
+        for _ in 0..20 {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.tick(&mut ctx);
+        }
+        assert!(m.free_pages(NodeId(0)) >= wm.high);
+        assert!(m.swap().used_slots() > 0, "anon reclaim must use swap");
+        assert!(m.vmstat().get(VmEvent::PswpOut) > 0);
+        m.validate();
+    }
+
+    #[test]
+    fn kswapd_budget_limits_swap_rate_per_tick() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        let min = m.node(NodeId(0)).watermarks().base.min;
+        for i in 0..(64 - min) {
+            fault(&mut p, &mut m, &lat, &mut rng, i, PageType::Anon);
+        }
+        let before = m.vmstat().get(VmEvent::PswpOut);
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        p.tick(&mut ctx);
+        let per_tick = m.vmstat().get(VmEvent::PswpOut) - before;
+        // 5 ms budget at 130 µs/page ≈ 38 pages max.
+        assert!(per_tick <= 40, "swapped {per_tick} pages in one tick");
+    }
+
+    #[test]
+    fn clean_file_pages_drop_dirty_ones_pay_writeback() {
+        let (mut m, lat, _) = ctx_parts();
+        m.create_process(Pid(2));
+        let clean = m.alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::File).unwrap();
+        let dirty = m.alloc_and_map(NodeId(0), Pid(2), Vpn(2), PageType::File).unwrap();
+        m.frames_mut().frame_mut(dirty).flags_mut().insert(PageFlags::DIRTY);
+        let c1 = evict_page(&mut m, &lat, clean).unwrap();
+        let c2 = evict_page(&mut m, &lat, dirty).unwrap();
+        assert!(c2 > c1 * 100);
+        assert_eq!(m.vmstat().get(VmEvent::PgDropFile), 2);
+        assert_eq!(m.swap().used_slots(), 0);
+    }
+
+    #[test]
+    fn tmpfs_pages_must_swap_not_drop() {
+        let (mut m, lat, _) = ctx_parts();
+        m.create_process(Pid(2));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::Tmpfs).unwrap();
+        evict_page(&mut m, &lat, pfn).unwrap();
+        assert_eq!(m.swap().used_slots(), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PswpOut), 1);
+    }
+
+    #[test]
+    fn swap_in_after_reclaim_round_trips() {
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        fault(&mut p, &mut m, &lat, &mut rng, 7, PageType::Anon);
+        let pfn = match m.space(Pid(1)).translate(Vpn(7)) {
+            Some(PageLocation::Mapped(pfn)) => pfn,
+            other => panic!("unexpected {other:?}"),
+        };
+        m.swap_out(pfn).unwrap();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 7, PageType::Anon);
+        assert_eq!(out.cost_ns, lat.swap_in_total_ns());
+        assert!(m.space(Pid(1)).translate(Vpn(7)).unwrap().pfn().is_some());
+        let _ = out;
+        m.validate();
+    }
+
+    #[test]
+    fn no_promotion_mechanism_exists() {
+        // Linux default never reacts to hint faults (it installs none).
+        let (mut m, lat, mut rng) = ctx_parts();
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 1, PageType::Anon);
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        assert_eq!(p.on_hint_fault(&mut ctx, out.pfn), 0);
+    }
+}

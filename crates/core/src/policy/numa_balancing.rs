@@ -1,0 +1,237 @@
+//! Default NUMA balancing (AutoNUMA) on a tiered machine (paper §4.2).
+//!
+//! NUMA balancing samples *every* node (wasting hint faults on local
+//! pages), promotes pages only when the local node sits above its *high*
+//! watermark, and cannot demote anything to a CPU-less node — so reclaim
+//! still pages out to swap, and under memory pressure promotion simply
+//! stops and hot pages stay trapped on the CXL node.
+
+use tiered_mem::{PageType, Pid, VmEvent, Vpn};
+use tiered_sim::Periodic;
+
+use super::linux_default::{fault_with_fallback, kswapd_pass, LinuxDefaultConfig};
+use super::sampler::{HintSampler, SampleScope, SamplerConfig};
+use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+
+/// Configuration for [`NumaBalancing`].
+#[derive(Clone, Copy, Debug)]
+pub struct NumaBalancingConfig {
+    /// The underlying default-kernel knobs (reclaim stays unchanged).
+    pub linux: LinuxDefaultConfig,
+    /// Hint-PTE scanner settings (scope is forced to all nodes).
+    pub sampler: SamplerConfig,
+}
+
+impl Default for NumaBalancingConfig {
+    fn default() -> NumaBalancingConfig {
+        NumaBalancingConfig {
+            linux: LinuxDefaultConfig::default(),
+            sampler: SamplerConfig::scaled(SampleScope::AllNodes),
+        }
+    }
+}
+
+/// NUMA balancing page placement.
+#[derive(Clone, Debug)]
+pub struct NumaBalancing {
+    config: NumaBalancingConfig,
+    sampler: HintSampler,
+    scan_timer: Periodic,
+    kswapd_active: Vec<bool>,
+}
+
+impl NumaBalancing {
+    /// Creates the policy with default knobs.
+    pub fn new() -> NumaBalancing {
+        NumaBalancing::with_config(NumaBalancingConfig::default())
+    }
+
+    /// Creates the policy with explicit knobs.
+    pub fn with_config(mut config: NumaBalancingConfig) -> NumaBalancing {
+        // Default NUMA balancing has no notion of tiers: it samples all
+        // nodes no matter what the caller asked for.
+        config.sampler.scope = SampleScope::AllNodes;
+        NumaBalancing {
+            config,
+            sampler: HintSampler::new(config.sampler),
+            scan_timer: Periodic::new(config.sampler.period_ns),
+            kswapd_active: Vec::new(),
+        }
+    }
+}
+
+impl Default for NumaBalancing {
+    fn default() -> NumaBalancing {
+        NumaBalancing::new()
+    }
+}
+
+impl PlacementPolicy for NumaBalancing {
+    fn name(&self) -> &str {
+        "numa_balancing"
+    }
+
+    fn handle_fault(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        pid: Pid,
+        vpn: Vpn,
+        page_type: PageType,
+    ) -> FaultOutcome {
+        let prefer = preferred_local_node(ctx.memory);
+        fault_with_fallback(ctx, pid, vpn, page_type, prefer)
+    }
+
+    fn on_hint_fault(&mut self, ctx: &mut PolicyCtx<'_>, pfn: tiered_mem::Pfn) -> u64 {
+        let node = ctx.memory.frames().frame(pfn).node();
+        if !ctx.memory.node(node).is_cpu_less() {
+            // Hint fault on a local page: pure sampling overhead.
+            ctx.memory.vmstat_mut().count(VmEvent::NumaHintFaultsLocal);
+            return 0;
+        }
+        let target = preferred_local_node(ctx.memory);
+        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteCandidate);
+        // Default NUMA balancing refuses to migrate unless the target is
+        // comfortably above its high watermark — this is exactly how hot
+        // pages get trapped on the CXL node under pressure (§4.2).
+        let wm = ctx.memory.node(target).watermarks().base;
+        if ctx.memory.free_pages(target) <= wm.high {
+            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+            return 0;
+        }
+        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteAttempt);
+        let page_type = ctx.memory.frames().frame(pfn).page_type();
+        match ctx.memory.migrate_page(pfn, target) {
+            Ok(_) => {
+                let ev = if page_type.is_anon() {
+                    VmEvent::PgPromoteSuccessAnon
+                } else {
+                    VmEvent::PgPromoteSuccessFile
+                };
+                ctx.memory.vmstat_mut().count(ev);
+                ctx.latency.migrate_page_ns
+            }
+            Err(_) => {
+                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailBusy);
+                0
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut PolicyCtx<'_>) {
+        self.kswapd_active.resize(ctx.memory.node_count(), false);
+        for i in 0..ctx.memory.node_count() {
+            kswapd_pass(
+                ctx.memory,
+                ctx.latency,
+                tiered_mem::NodeId(i as u8),
+                self.config.linux.kswapd_budget,
+                &mut self.kswapd_active[i],
+            );
+        }
+        if self.scan_timer.fire(ctx.now_ns) > 0 {
+            self.sampler.scan(ctx.memory);
+        }
+    }
+
+    fn tick_period_ns(&self) -> u64 {
+        self.config.linux.tick_period_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::{Memory, NodeId, NodeKind, PageFlags, PageLocation};
+    use tiered_sim::{LatencyModel, SimRng};
+
+    fn setup() -> (Memory, LatencyModel, SimRng, NumaBalancing) {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 64)
+            .node(NodeKind::Cxl, 128)
+            .build();
+        m.create_process(Pid(1));
+        (m, LatencyModel::datacenter(), SimRng::seed(1), NumaBalancing::new())
+    }
+
+    #[test]
+    fn promotes_cxl_page_when_local_has_headroom() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let cost = p.on_hint_fault(&mut ctx, pfn);
+        assert_eq!(cost, lat.migrate_page_ns);
+        let new = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
+        assert_eq!(m.frames().frame(new).node(), NodeId(0));
+        assert_eq!(m.vmstat().get(VmEvent::PgPromoteSuccessAnon), 1);
+        m.validate();
+    }
+
+    #[test]
+    fn promotion_stops_when_local_is_under_pressure() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        // Fill local down to (high watermark) free pages.
+        let high = m.node(NodeId(0)).watermarks().base.high;
+        for i in 0..(64 - high) {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(100 + i), PageType::Anon).unwrap();
+        }
+        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
+        // Page remains trapped on the CXL node.
+        assert_eq!(m.frames().frame(pfn).node(), NodeId(1));
+        assert_eq!(m.vmstat().get(VmEvent::PgPromoteFailLowMem), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PgPromoteAttempt), 0);
+    }
+
+    #[test]
+    fn local_hint_faults_are_counted_as_overhead() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
+        assert_eq!(m.vmstat().get(VmEvent::NumaHintFaultsLocal), 1);
+        assert_eq!(m.frames().frame(pfn).node(), NodeId(0));
+    }
+
+    #[test]
+    fn sampler_marks_local_pages_too() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon).unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 2 * tiered_sim::SEC,
+            rng: &mut rng,
+        };
+        p.tick(&mut ctx);
+        let hinted = |m: &Memory, node: NodeId| {
+            m.frames()
+                .allocated_on(node)
+                .filter(|&f| m.frames().frame(f).flags().contains(PageFlags::HINTED))
+                .count()
+        };
+        assert_eq!(hinted(&m, NodeId(0)), 1, "default NUMA balancing samples local nodes");
+        assert_eq!(hinted(&m, NodeId(1)), 1);
+    }
+
+    #[test]
+    fn reclaim_still_swaps_out() {
+        let (mut m, lat, mut rng, mut p) = setup();
+        let min = m.node(NodeId(0)).watermarks().base.min;
+        for i in 0..(64 - min) {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::Tmpfs);
+        }
+        for _ in 0..10 {
+            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            p.tick(&mut ctx);
+        }
+        assert!(m.swap().used_slots() > 0, "no demotion path exists; swap must be used");
+        // Nothing was migrated to the CXL node by reclaim.
+        assert_eq!(m.vmstat().demoted_total(), 0);
+        let _ = m.space(Pid(1)).translate(Vpn(0)) == Some(PageLocation::Mapped(tiered_mem::Pfn(0)));
+        m.validate();
+    }
+}

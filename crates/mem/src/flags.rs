@@ -1,0 +1,238 @@
+//! Per-frame state flags, mirroring the Linux `page->flags` bits that the
+//! TPP mechanisms depend on.
+//!
+//! The paper repurposes the unused `0x40` page-flag bit as `PG_demoted`
+//! (§5.5); we keep the same bit value for fidelity.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+/// A set of page flags.
+///
+/// Implemented as a transparent `u16` bitset. The type deliberately mirrors
+/// the ergonomics of the `bitflags` crate without taking the dependency.
+///
+/// # Examples
+///
+/// ```
+/// use tiered_mem::PageFlags;
+///
+/// let mut f = PageFlags::empty();
+/// f.insert(PageFlags::REFERENCED);
+/// assert!(f.contains(PageFlags::REFERENCED));
+/// f.remove(PageFlags::REFERENCED);
+/// assert!(f.is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageFlags(u16);
+
+impl PageFlags {
+    /// The page was referenced since the last LRU scan (PTE accessed-bit
+    /// analogue; `PG_referenced`).
+    pub const REFERENCED: PageFlags = PageFlags(0x01);
+    /// The page is on an active LRU list (`PG_active`).
+    pub const ACTIVE: PageFlags = PageFlags(0x02);
+    /// The page has been dirtied and needs writeback before reclaim
+    /// (`PG_dirty`).
+    pub const DIRTY: PageFlags = PageFlags(0x04);
+    /// NUMA-balancing hint: the PTE was poisoned by the sampling scanner,
+    /// so the next access takes a minor fault (the `PROT_NONE` analogue).
+    pub const HINTED: PageFlags = PageFlags(0x08);
+    /// The page is temporarily isolated from the LRU for migration or
+    /// reclaim (`PG_isolated` analogue).
+    pub const ISOLATED: PageFlags = PageFlags(0x10);
+    /// The page cannot be evicted (mlocked; `PG_unevictable`).
+    pub const UNEVICTABLE: PageFlags = PageFlags(0x20);
+    /// The page was demoted to a slower tier and not yet promoted back.
+    /// TPP's `PG_demoted`, bit `0x40` exactly as in the paper (§5.5).
+    pub const DEMOTED: PageFlags = PageFlags(0x40);
+
+    /// An empty flag set.
+    #[inline]
+    pub const fn empty() -> PageFlags {
+        PageFlags(0)
+    }
+
+    /// Whether no flag is set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any flag in `other` is set in `self`.
+    #[inline]
+    pub const fn intersects(self, other: PageFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Sets every flag in `other`.
+    #[inline]
+    pub fn insert(&mut self, other: PageFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clears every flag in `other`.
+    #[inline]
+    pub fn remove(&mut self, other: PageFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Sets or clears `other` depending on `value`.
+    #[inline]
+    pub fn set(&mut self, other: PageFlags, value: bool) {
+        if value {
+            self.insert(other);
+        } else {
+            self.remove(other);
+        }
+    }
+
+    /// Clears `other` and reports whether it was previously set
+    /// (`TestClearPageReferenced` analogue).
+    #[inline]
+    pub fn test_and_clear(&mut self, other: PageFlags) -> bool {
+        let was = self.intersects(other);
+        self.remove(other);
+        was
+    }
+
+    /// The raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for PageFlags {
+    type Output = PageFlags;
+    fn bitand(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 & rhs.0)
+    }
+}
+
+impl Not for PageFlags {
+    type Output = PageFlags;
+    fn not(self) -> PageFlags {
+        PageFlags(!self.0)
+    }
+}
+
+impl fmt::Debug for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(PageFlags, &str); 7] = [
+            (PageFlags::REFERENCED, "REFERENCED"),
+            (PageFlags::ACTIVE, "ACTIVE"),
+            (PageFlags::DIRTY, "DIRTY"),
+            (PageFlags::HINTED, "HINTED"),
+            (PageFlags::ISOLATED, "ISOLATED"),
+            (PageFlags::UNEVICTABLE, "UNEVICTABLE"),
+            (PageFlags::DEMOTED, "DEMOTED"),
+        ];
+        if self.is_empty() {
+            return f.write_str("PageFlags(empty)");
+        }
+        let mut first = true;
+        f.write_str("PageFlags(")?;
+        for (flag, name) in NAMES {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demoted_bit_matches_paper() {
+        // The paper repurposes the unused 0x40 page-flag bit for PG_demoted.
+        assert_eq!(PageFlags::DEMOTED.bits(), 0x40);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut f = PageFlags::empty();
+        assert!(f.is_empty());
+        f.insert(PageFlags::ACTIVE | PageFlags::DIRTY);
+        assert!(f.contains(PageFlags::ACTIVE));
+        assert!(f.contains(PageFlags::DIRTY));
+        assert!(f.contains(PageFlags::ACTIVE | PageFlags::DIRTY));
+        assert!(!f.contains(PageFlags::ACTIVE | PageFlags::HINTED));
+        assert!(f.intersects(PageFlags::ACTIVE | PageFlags::HINTED));
+        f.remove(PageFlags::ACTIVE);
+        assert!(!f.contains(PageFlags::ACTIVE));
+        assert!(f.contains(PageFlags::DIRTY));
+    }
+
+    #[test]
+    fn test_and_clear_reports_previous_state() {
+        let mut f = PageFlags::REFERENCED;
+        assert!(f.test_and_clear(PageFlags::REFERENCED));
+        assert!(!f.test_and_clear(PageFlags::REFERENCED));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn set_conditionally() {
+        let mut f = PageFlags::empty();
+        f.set(PageFlags::HINTED, true);
+        assert!(f.contains(PageFlags::HINTED));
+        f.set(PageFlags::HINTED, false);
+        assert!(!f.contains(PageFlags::HINTED));
+    }
+
+    #[test]
+    fn debug_is_never_empty_string() {
+        assert_eq!(format!("{:?}", PageFlags::empty()), "PageFlags(empty)");
+        assert_eq!(
+            format!("{:?}", PageFlags::ACTIVE | PageFlags::DEMOTED),
+            "PageFlags(ACTIVE|DEMOTED)"
+        );
+    }
+
+    #[test]
+    fn flags_are_distinct_bits() {
+        let all = [
+            PageFlags::REFERENCED,
+            PageFlags::ACTIVE,
+            PageFlags::DIRTY,
+            PageFlags::HINTED,
+            PageFlags::ISOLATED,
+            PageFlags::UNEVICTABLE,
+            PageFlags::DEMOTED,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                if i != j {
+                    assert!(!a.intersects(*b), "{a:?} overlaps {b:?}");
+                }
+            }
+        }
+    }
+}

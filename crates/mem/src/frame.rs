@@ -1,0 +1,470 @@
+//! The frame table: per-page physical metadata for every memory node.
+//!
+//! Like the kernel's `struct page` array, each physical frame has one
+//! metadata entry, indexed by PFN. Nodes own contiguous PFN ranges. The
+//! frame table also keeps the per-node free lists and free-page counts
+//! that watermark logic consults.
+
+use crate::error::AllocError;
+use crate::flags::PageFlags;
+use crate::lru::LruKind;
+use crate::types::{NodeId, PageKey, PageType, Pfn};
+
+/// Allocation state of a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameState {
+    /// The frame is on its node's free list.
+    Free,
+    /// The frame backs a virtual page.
+    Allocated {
+        /// The (process, virtual page) this frame backs. The simulator
+        /// models private mappings, so each frame has exactly one owner —
+        /// this doubles as the reverse map used by migration.
+        owner: PageKey,
+    },
+}
+
+/// Per-frame metadata (`struct page` analogue).
+#[derive(Clone, Copy, Debug)]
+pub struct Frame {
+    state: FrameState,
+    page_type: PageType,
+    flags: PageFlags,
+    node: NodeId,
+    /// Intrusive LRU linkage; `Pfn::NONE` when unlinked.
+    pub(crate) lru_prev: u32,
+    pub(crate) lru_next: u32,
+    pub(crate) lru: Option<LruKind>,
+    /// Decaying access-frequency counter (used by the AutoTiering
+    /// baseline's timer-based hotness detection).
+    hotness: u8,
+    /// Simulation time of the last access, for reports.
+    last_access_ns: u64,
+}
+
+impl Frame {
+    fn unused(node: NodeId) -> Frame {
+        Frame {
+            state: FrameState::Free,
+            page_type: PageType::Anon,
+            flags: PageFlags::empty(),
+            node,
+            lru_prev: Pfn::NONE,
+            lru_next: Pfn::NONE,
+            lru: None,
+            hotness: 0,
+            last_access_ns: 0,
+        }
+    }
+
+    /// Allocation state of the frame.
+    #[inline]
+    pub fn state(&self) -> FrameState {
+        self.state
+    }
+
+    /// Whether the frame currently backs a page.
+    #[inline]
+    pub fn is_allocated(&self) -> bool {
+        matches!(self.state, FrameState::Allocated { .. })
+    }
+
+    /// The owner of the frame, if allocated.
+    #[inline]
+    pub fn owner(&self) -> Option<PageKey> {
+        match self.state {
+            FrameState::Allocated { owner } => Some(owner),
+            FrameState::Free => None,
+        }
+    }
+
+    /// The page type (meaningful only while allocated).
+    #[inline]
+    pub fn page_type(&self) -> PageType {
+        self.page_type
+    }
+
+    /// Current flag set.
+    #[inline]
+    pub fn flags(&self) -> PageFlags {
+        self.flags
+    }
+
+    /// Mutable access to the flag set.
+    #[inline]
+    pub fn flags_mut(&mut self) -> &mut PageFlags {
+        &mut self.flags
+    }
+
+    /// The node this frame physically belongs to.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Which LRU list the frame is linked on, if any.
+    #[inline]
+    pub fn lru_kind(&self) -> Option<LruKind> {
+        self.lru
+    }
+
+    /// The AutoTiering-style decaying hotness counter.
+    #[inline]
+    pub fn hotness(&self) -> u8 {
+        self.hotness
+    }
+
+    /// Bumps the hotness counter (saturating).
+    #[inline]
+    pub fn touch_hotness(&mut self) {
+        self.hotness = self.hotness.saturating_add(1);
+    }
+
+    /// Halves the hotness counter (the periodic decay tick).
+    #[inline]
+    pub fn decay_hotness(&mut self) {
+        self.hotness /= 2;
+    }
+
+    /// Overwrites the hotness counter (used when migration carries state
+    /// across nodes).
+    #[inline]
+    pub fn set_hotness(&mut self, hotness: u8) {
+        self.hotness = hotness;
+    }
+
+    /// Time of last access, in simulation nanoseconds.
+    #[inline]
+    pub fn last_access_ns(&self) -> u64 {
+        self.last_access_ns
+    }
+
+    /// Records an access time.
+    #[inline]
+    pub fn set_last_access_ns(&mut self, now_ns: u64) {
+        self.last_access_ns = now_ns;
+    }
+}
+
+/// The machine-wide frame table plus per-node free lists.
+///
+/// # Examples
+///
+/// ```
+/// use tiered_mem::{FrameTable, NodeId, PageKey, PageType, Pid, Vpn};
+///
+/// let mut ft = FrameTable::new(&[128, 512]);
+/// let owner = PageKey::new(Pid(1), Vpn(0));
+/// let pfn = ft.alloc(NodeId(0), owner, PageType::Anon)?;
+/// assert_eq!(ft.frame(pfn).owner(), Some(owner));
+/// assert_eq!(ft.free_pages(NodeId(0)), 127);
+/// ft.free(pfn);
+/// assert_eq!(ft.free_pages(NodeId(0)), 128);
+/// # Ok::<(), tiered_mem::AllocError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameTable {
+    frames: Vec<Frame>,
+    /// `node_start[n]..node_start[n+1]` is node `n`'s PFN range.
+    node_start: Vec<u32>,
+    /// Per-node stack of free PFNs.
+    free_lists: Vec<Vec<Pfn>>,
+}
+
+impl FrameTable {
+    /// Creates a frame table for nodes with the given capacities (pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty, any capacity is zero, or the total
+    /// exceeds `u32::MAX` frames.
+    pub fn new(capacities: &[u64]) -> FrameTable {
+        assert!(!capacities.is_empty(), "at least one memory node required");
+        let total: u64 = capacities.iter().sum();
+        assert!(total < u32::MAX as u64, "too many frames for 32-bit PFNs");
+        let mut frames = Vec::with_capacity(total as usize);
+        let mut node_start = Vec::with_capacity(capacities.len() + 1);
+        let mut free_lists = Vec::with_capacity(capacities.len());
+        let mut next: u32 = 0;
+        for (i, &cap) in capacities.iter().enumerate() {
+            assert!(cap > 0, "node {i} has zero capacity");
+            let node = NodeId(i as u8);
+            node_start.push(next);
+            // Free list is popped from the back; push in reverse so low
+            // PFNs are handed out first (deterministic, kernel-like).
+            let mut list: Vec<Pfn> = (next..next + cap as u32).map(Pfn).rev().collect();
+            list.shrink_to_fit();
+            free_lists.push(list);
+            for _ in 0..cap {
+                frames.push(Frame::unused(node));
+            }
+            next += cap as u32;
+        }
+        node_start.push(next);
+        FrameTable { frames, node_start, free_lists }
+    }
+
+    /// Number of memory nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.free_lists.len()
+    }
+
+    /// Total capacity of `node` in pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[inline]
+    pub fn capacity(&self, node: NodeId) -> u64 {
+        let i = node.index();
+        (self.node_start[i + 1] - self.node_start[i]) as u64
+    }
+
+    /// Current free pages on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[inline]
+    pub fn free_pages(&self, node: NodeId) -> u64 {
+        self.free_lists[node.index()].len() as u64
+    }
+
+    /// Pages currently allocated on `node`.
+    #[inline]
+    pub fn used_pages(&self, node: NodeId) -> u64 {
+        self.capacity(node) - self.free_pages(node)
+    }
+
+    /// Whether `node` is a valid node id.
+    #[inline]
+    pub fn has_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// The PFN range owned by `node`.
+    pub fn pfn_range(&self, node: NodeId) -> std::ops::Range<u32> {
+        let i = node.index();
+        self.node_start[i]..self.node_start[i + 1]
+    }
+
+    /// Shared access to a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    #[inline]
+    pub fn frame(&self, pfn: Pfn) -> &Frame {
+        &self.frames[pfn.index()]
+    }
+
+    /// Mutable access to a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    #[inline]
+    pub fn frame_mut(&mut self, pfn: Pfn) -> &mut Frame {
+        &mut self.frames[pfn.index()]
+    }
+
+    /// Allocates one page on `node` for `owner`.
+    ///
+    /// This is the raw buddy-allocator analogue: it performs **no**
+    /// watermark checks — policies decide when a node is too full.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidNode`] if the node does not exist, or
+    /// [`AllocError::NoMemory`] if the node's free list is empty.
+    pub fn alloc(
+        &mut self,
+        node: NodeId,
+        owner: PageKey,
+        page_type: PageType,
+    ) -> Result<Pfn, AllocError> {
+        if !self.has_node(node) {
+            return Err(AllocError::InvalidNode { node });
+        }
+        let pfn = self.free_lists[node.index()]
+            .pop()
+            .ok_or(AllocError::NoMemory { node })?;
+        let frame = &mut self.frames[pfn.index()];
+        debug_assert!(matches!(frame.state, FrameState::Free));
+        frame.state = FrameState::Allocated { owner };
+        frame.page_type = page_type;
+        frame.flags = PageFlags::empty();
+        frame.hotness = 0;
+        frame.last_access_ns = 0;
+        debug_assert!(frame.lru.is_none());
+        Ok(pfn)
+    }
+
+    /// Releases `pfn` back to its node's free list, returning the previous
+    /// owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free or still linked on an LRU list (callers
+    /// must `lru` the page off first — mirroring the kernel invariant that
+    /// a page must be isolated before being freed).
+    pub fn free(&mut self, pfn: Pfn) -> PageKey {
+        let frame = &mut self.frames[pfn.index()];
+        let owner = match frame.state {
+            FrameState::Allocated { owner } => owner,
+            FrameState::Free => panic!("double free of {pfn}"),
+        };
+        assert!(
+            frame.lru.is_none(),
+            "{pfn} freed while still on LRU list {:?}",
+            frame.lru
+        );
+        frame.state = FrameState::Free;
+        frame.flags = PageFlags::empty();
+        frame.hotness = 0;
+        let node = frame.node;
+        self.free_lists[node.index()].push(pfn);
+        owner
+    }
+
+    /// Iterates over all allocated frames on `node`, in PFN order.
+    pub fn allocated_on(&self, node: NodeId) -> impl Iterator<Item = Pfn> + '_ {
+        self.pfn_range(node)
+            .map(Pfn)
+            .filter(move |p| self.frames[p.index()].is_allocated())
+    }
+
+    /// Counts allocated pages on `node` by accounting class
+    /// `(anon, file_backed)`.
+    pub fn usage_by_class(&self, node: NodeId) -> (u64, u64) {
+        let mut anon = 0;
+        let mut file = 0;
+        for pfn in self.allocated_on(node) {
+            if self.frames[pfn.index()].page_type.is_anon() {
+                anon += 1;
+            } else {
+                file += 1;
+            }
+        }
+        (anon, file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Pid, Vpn};
+
+    fn key(v: u64) -> PageKey {
+        PageKey::new(Pid(1), Vpn(v))
+    }
+
+    #[test]
+    fn nodes_get_contiguous_disjoint_ranges() {
+        let ft = FrameTable::new(&[100, 200, 50]);
+        assert_eq!(ft.node_count(), 3);
+        assert_eq!(ft.pfn_range(NodeId(0)), 0..100);
+        assert_eq!(ft.pfn_range(NodeId(1)), 100..300);
+        assert_eq!(ft.pfn_range(NodeId(2)), 300..350);
+        assert_eq!(ft.capacity(NodeId(1)), 200);
+    }
+
+    #[test]
+    fn alloc_assigns_low_pfns_first_and_tracks_free_count() {
+        let mut ft = FrameTable::new(&[10]);
+        let p0 = ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        let p1 = ft.alloc(NodeId(0), key(1), PageType::File).unwrap();
+        assert_eq!(p0, Pfn(0));
+        assert_eq!(p1, Pfn(1));
+        assert_eq!(ft.free_pages(NodeId(0)), 8);
+        assert_eq!(ft.used_pages(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn alloc_fails_when_node_exhausted() {
+        let mut ft = FrameTable::new(&[2]);
+        ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        ft.alloc(NodeId(0), key(1), PageType::Anon).unwrap();
+        assert_eq!(
+            ft.alloc(NodeId(0), key(2), PageType::Anon),
+            Err(AllocError::NoMemory { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn alloc_rejects_unknown_node() {
+        let mut ft = FrameTable::new(&[2]);
+        assert_eq!(
+            ft.alloc(NodeId(7), key(0), PageType::Anon),
+            Err(AllocError::InvalidNode { node: NodeId(7) })
+        );
+    }
+
+    #[test]
+    fn free_returns_owner_and_recycles_frame() {
+        let mut ft = FrameTable::new(&[2]);
+        let pfn = ft.alloc(NodeId(0), key(42), PageType::File).unwrap();
+        assert_eq!(ft.free(pfn), key(42));
+        assert_eq!(ft.free_pages(NodeId(0)), 2);
+        // The freed frame is reusable.
+        let pfn2 = ft.alloc(NodeId(0), key(43), PageType::Anon).unwrap();
+        assert_eq!(pfn2, pfn);
+        assert_eq!(ft.frame(pfn2).page_type(), PageType::Anon);
+        assert!(ft.frame(pfn2).flags().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut ft = FrameTable::new(&[2]);
+        let pfn = ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        ft.free(pfn);
+        ft.free(pfn);
+    }
+
+    #[test]
+    fn alloc_resets_stale_metadata() {
+        let mut ft = FrameTable::new(&[1]);
+        let pfn = ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        ft.frame_mut(pfn).touch_hotness();
+        ft.frame_mut(pfn).flags_mut().insert(PageFlags::DIRTY);
+        ft.frame_mut(pfn).set_last_access_ns(99);
+        ft.free(pfn);
+        let pfn = ft.alloc(NodeId(0), key(1), PageType::File).unwrap();
+        let f = ft.frame(pfn);
+        assert_eq!(f.hotness(), 0);
+        assert!(f.flags().is_empty());
+        assert_eq!(f.last_access_ns(), 0);
+    }
+
+    #[test]
+    fn hotness_saturates_and_decays() {
+        let mut ft = FrameTable::new(&[1]);
+        let pfn = ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        for _ in 0..300 {
+            ft.frame_mut(pfn).touch_hotness();
+        }
+        assert_eq!(ft.frame(pfn).hotness(), u8::MAX);
+        ft.frame_mut(pfn).decay_hotness();
+        assert_eq!(ft.frame(pfn).hotness(), 127);
+    }
+
+    #[test]
+    fn usage_by_class_counts_tmpfs_as_file() {
+        let mut ft = FrameTable::new(&[10]);
+        ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        ft.alloc(NodeId(0), key(1), PageType::File).unwrap();
+        ft.alloc(NodeId(0), key(2), PageType::Tmpfs).unwrap();
+        assert_eq!(ft.usage_by_class(NodeId(0)), (1, 2));
+    }
+
+    #[test]
+    fn allocated_on_lists_only_allocated_frames() {
+        let mut ft = FrameTable::new(&[4, 4]);
+        let a = ft.alloc(NodeId(0), key(0), PageType::Anon).unwrap();
+        let b = ft.alloc(NodeId(1), key(1), PageType::Anon).unwrap();
+        assert_eq!(ft.allocated_on(NodeId(0)).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(ft.allocated_on(NodeId(1)).collect::<Vec<_>>(), vec![b]);
+    }
+}

@@ -1,0 +1,950 @@
+//! The machine-wide memory subsystem façade: frame table + nodes +
+//! address spaces + swap device + vmstat, with the mechanical operations
+//! (map, unmap, migrate, swap in/out, drop) that placement *policies*
+//! orchestrate.
+//!
+//! `Memory` deliberately contains **no policy**: it never decides *when*
+//! to reclaim, demote, or promote — only *how*. Watermark checks are
+//! exposed as data; the `tpp` crate's policies make the decisions.
+
+use std::collections::HashMap;
+
+use crate::error::{AllocError, MigrateError, SwapError};
+use crate::flags::PageFlags;
+use crate::frame::FrameTable;
+use crate::lru::LruKind;
+use crate::node::{MemoryNode, NodeKind};
+use crate::page_table::{AddressSpace, PageLocation};
+use crate::swap::{SwapDevice, SwapSlot};
+use crate::types::{NodeId, PageKey, PageType, Pfn, Pid, Vpn};
+use crate::vmstat::{VmEvent, VmStat};
+use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
+
+/// Shadow entry left behind by an evicted file page (the kernel's
+/// workingset-detection radix-tree shadows): records *when* (in
+/// per-node eviction ticks) the page was pushed out, so a refault can
+/// compute its refault distance.
+#[derive(Clone, Copy, Debug)]
+struct Shadow {
+    node: NodeId,
+    eviction_clock: u64,
+}
+
+/// Builder for [`Memory`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+///
+/// # Examples
+///
+/// ```
+/// use tiered_mem::{Memory, NodeKind};
+///
+/// let memory = Memory::builder()
+///     .node(NodeKind::LocalDram, 1024)
+///     .node(NodeKind::Cxl, 4096)
+///     .swap_pages(8192)
+///     .build();
+/// assert_eq!(memory.node_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemoryBuilder {
+    nodes: Vec<(NodeKind, u64, Option<u64>)>,
+    swap_pages: Option<u64>,
+    demote_scale_bp: u32,
+}
+
+impl MemoryBuilder {
+    /// Creates a builder with no nodes and the default 2%
+    /// `demote_scale_factor`.
+    pub fn new() -> MemoryBuilder {
+        MemoryBuilder {
+            nodes: Vec::new(),
+            swap_pages: None,
+            demote_scale_bp: DEFAULT_DEMOTE_SCALE_BP,
+        }
+    }
+
+    /// Adds a memory node of `kind` with `capacity` pages.
+    pub fn node(&mut self, kind: NodeKind, capacity: u64) -> &mut MemoryBuilder {
+        self.nodes.push((kind, capacity, None));
+        self
+    }
+
+    /// Adds a memory node with an explicit access latency (ns).
+    pub fn node_with_latency(
+        &mut self,
+        kind: NodeKind,
+        capacity: u64,
+        latency_ns: u64,
+    ) -> &mut MemoryBuilder {
+        self.nodes.push((kind, capacity, Some(latency_ns)));
+        self
+    }
+
+    /// Sets the swap device capacity in pages (default: 4× total memory).
+    pub fn swap_pages(&mut self, pages: u64) -> &mut MemoryBuilder {
+        self.swap_pages = Some(pages);
+        self
+    }
+
+    /// Sets `demote_scale_factor` in basis points (default 200 = 2%).
+    pub fn demote_scale_bp(&mut self, bp: u32) -> &mut MemoryBuilder {
+        self.demote_scale_bp = bp;
+        self
+    }
+
+    /// Builds the memory subsystem.
+    ///
+    /// Demotion targets are assigned statically by node distance (paper
+    /// §5.1): every CPU-attached node demotes to the nearest CXL node;
+    /// CXL nodes are terminal (they reclaim to swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node was configured.
+    pub fn build(&self) -> Memory {
+        assert!(!self.nodes.is_empty(), "at least one memory node required");
+        let capacities: Vec<u64> = self.nodes.iter().map(|&(_, c, _)| c).collect();
+        let frames = FrameTable::new(&capacities);
+        let mut nodes: Vec<MemoryNode> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, cap, lat))| {
+                let mut n = MemoryNode::new(NodeId(i as u8), kind, cap);
+                n.set_watermarks(TppWatermarks::for_capacity(cap, self.demote_scale_bp));
+                if let Some(lat) = lat {
+                    n.set_latency_ns(lat);
+                }
+                n
+            })
+            .collect();
+        // Distance-based static demotion targets: nearest CXL node by id
+        // distance.
+        for i in 0..nodes.len() {
+            if nodes[i].kind().is_cpu_less() {
+                continue;
+            }
+            let target = nodes
+                .iter()
+                .filter(|n| n.kind().is_cpu_less())
+                .min_by_key(|n| (n.id().0 as i16 - i as i16).unsigned_abs())
+                .map(|n| n.id());
+            nodes[i].set_demotion_target(target);
+        }
+        let total: u64 = capacities.iter().sum();
+        let swap = SwapDevice::new(self.swap_pages.unwrap_or(total * 4));
+        let node_count = nodes.len();
+        Memory {
+            frames,
+            nodes,
+            spaces: HashMap::new(),
+            swap,
+            vmstat: VmStat::new(),
+            shadows: HashMap::new(),
+            eviction_clocks: vec![0; node_count],
+        }
+    }
+}
+
+/// The complete memory subsystem of one simulated machine.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    frames: FrameTable,
+    nodes: Vec<MemoryNode>,
+    spaces: HashMap<Pid, AddressSpace>,
+    swap: SwapDevice,
+    vmstat: VmStat,
+    /// Workingset shadows for dropped file pages.
+    shadows: HashMap<PageKey, Shadow>,
+    /// Per-node eviction clocks (file pages dropped so far).
+    eviction_clocks: Vec<u64>,
+}
+
+impl Memory {
+    /// Starts building a memory subsystem.
+    pub fn builder() -> MemoryBuilder {
+        MemoryBuilder::new()
+    }
+
+    // ----- topology ------------------------------------------------------
+
+    /// Number of memory nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shared access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &MemoryNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut MemoryNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &MemoryNode> {
+        self.nodes.iter()
+    }
+
+    /// Ids of all CPU-attached (local) nodes.
+    pub fn local_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_cpu_less())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Ids of all CPU-less (CXL) nodes.
+    pub fn cxl_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_cpu_less())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// The allocation fallback order starting from `from`: `from` itself,
+    /// then remaining nodes by id distance (the zonelist analogue).
+    pub fn fallback_order(&self, from: NodeId) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.nodes.len()).map(|i| NodeId(i as u8)).collect();
+        ids.sort_by_key(|n| ((n.0 as i16 - from.0 as i16).unsigned_abs(), n.0));
+        ids
+    }
+
+    /// Free pages on `node`.
+    #[inline]
+    pub fn free_pages(&self, node: NodeId) -> u64 {
+        self.frames.free_pages(node)
+    }
+
+    /// Capacity of `node` in pages.
+    #[inline]
+    pub fn capacity(&self, node: NodeId) -> u64 {
+        self.frames.capacity(node)
+    }
+
+    /// Total capacity across all nodes.
+    pub fn total_capacity(&self) -> u64 {
+        (0..self.node_count())
+            .map(|i| self.frames.capacity(NodeId(i as u8)))
+            .sum()
+    }
+
+    /// Shared access to the frame table.
+    #[inline]
+    pub fn frames(&self) -> &FrameTable {
+        &self.frames
+    }
+
+    /// Mutable access to the frame table (for policies that tweak flags or
+    /// hotness counters directly).
+    #[inline]
+    pub fn frames_mut(&mut self) -> &mut FrameTable {
+        &mut self.frames
+    }
+
+    /// Splits the borrow into one node's LRU lists and the frame table,
+    /// which is what every intrusive LRU operation needs
+    /// (`lru.pop_back(frames, …)` etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[inline]
+    pub fn lru_and_frames_mut(
+        &mut self,
+        node: NodeId,
+    ) -> (&mut crate::lru::NodeLru, &mut FrameTable) {
+        (&mut self.nodes[node.index()].lru, &mut self.frames)
+    }
+
+    /// Shared access to the swap device.
+    #[inline]
+    pub fn swap(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// The vmstat counters.
+    #[inline]
+    pub fn vmstat(&self) -> &VmStat {
+        &self.vmstat
+    }
+
+    /// Mutable access to the vmstat counters (policies count their own
+    /// decision events here).
+    #[inline]
+    pub fn vmstat_mut(&mut self) -> &mut VmStat {
+        &mut self.vmstat
+    }
+
+    // ----- processes ------------------------------------------------------
+
+    /// Registers a new process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid already exists.
+    pub fn create_process(&mut self, pid: Pid) {
+        let prev = self.spaces.insert(pid, AddressSpace::new(pid));
+        assert!(prev.is_none(), "{pid} already exists");
+    }
+
+    /// Whether `pid` is registered.
+    pub fn has_process(&self, pid: Pid) -> bool {
+        self.spaces.contains_key(&pid)
+    }
+
+    /// Shared access to a process' address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn space(&self, pid: Pid) -> &AddressSpace {
+        self.spaces.get(&pid).unwrap_or_else(|| panic!("unknown {pid}"))
+    }
+
+    /// All registered pids, sorted (deterministic iteration).
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut v: Vec<Pid> = self.spaces.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Destroys a process, releasing every resident page and swap slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn destroy_process(&mut self, pid: Pid) {
+        let space = self.spaces.remove(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        self.shadows.retain(|key, _| key.pid != pid);
+        for (_, loc) in space.iter() {
+            match loc {
+                PageLocation::Mapped(pfn) => {
+                    let nid = self.frames.frame(pfn).node();
+                    self.nodes[nid.index()].lru.remove(&mut self.frames, pfn);
+                    self.frames.free(pfn);
+                }
+                PageLocation::Swapped(slot) => {
+                    let _ = self.swap.discard(slot);
+                }
+            }
+        }
+    }
+
+    // ----- page lifecycle -------------------------------------------------
+
+    /// Allocates a frame on `node` and maps it at `(pid, vpn)`.
+    ///
+    /// Follows the kernel's LRU insertion convention: new anonymous pages
+    /// join the **active** anon list, new file pages join the **inactive**
+    /// file list. No watermark check is performed — callers (policies)
+    /// decide whether the node is allowed to host the page.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::NoMemory`] if the node is full,
+    /// [`AllocError::InvalidNode`] if it does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown or the vpn is already backed.
+    pub fn alloc_and_map(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        vpn: Vpn,
+        page_type: PageType,
+    ) -> Result<Pfn, AllocError> {
+        let space = self.spaces.get_mut(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        assert!(
+            space.translate(vpn).is_none(),
+            "{pid}:{vpn} is already backed"
+        );
+        let key = PageKey::new(pid, vpn);
+        let pfn = self.frames.alloc(node, key, page_type)?;
+        space.map(vpn, pfn);
+        // Workingset detection (`workingset_refault`): a file page that
+        // was evicted recently — within roughly one active-list-worth of
+        // evictions — was part of the workingset and rejoins the LRU as
+        // an *active* page instead of starting cold.
+        let mut active = page_type.is_anon();
+        if let Some(shadow) = self.shadows.remove(&key) {
+            if page_type.is_file_backed() {
+                self.vmstat.count(VmEvent::WorkingsetRefault);
+                let distance = self.eviction_clocks[shadow.node.index()]
+                    .saturating_sub(shadow.eviction_clock);
+                let active_file = self.nodes[shadow.node.index()]
+                    .lru
+                    .len(LruKind::FileActive)
+                    + self.nodes[node.index()].lru.len(LruKind::FileActive);
+                if distance <= active_file {
+                    active = true;
+                    self.vmstat.count(VmEvent::WorkingsetActivate);
+                }
+            }
+        }
+        let kind = LruKind::for_page(page_type, active);
+        self.nodes[node.index()].lru.push_front(&mut self.frames, kind, pfn);
+        if self.nodes[node.index()].is_cpu_less() {
+            self.vmstat.count(VmEvent::PgAllocRemote);
+        } else {
+            self.vmstat.count(VmEvent::PgAllocLocal);
+        }
+        Ok(pfn)
+    }
+
+    /// Unmaps `(pid, vpn)` and releases whatever backed it (frame or swap
+    /// slot). Returns `true` if something was released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn release(&mut self, pid: Pid, vpn: Vpn) -> bool {
+        let space = self.spaces.get_mut(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        match space.unmap(vpn) {
+            Some(PageLocation::Mapped(pfn)) => {
+                let nid = self.frames.frame(pfn).node();
+                self.nodes[nid.index()].lru.remove(&mut self.frames, pfn);
+                self.frames.free(pfn);
+                true
+            }
+            Some(PageLocation::Swapped(slot)) => {
+                let _ = self.swap.discard(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Migrates `pfn` to `dst`, preserving owner mapping, page type, flags,
+    /// hotness, and LRU position class (a page on an active list lands on
+    /// the head of `dst`'s matching active list, etc.).
+    ///
+    /// Returns the new frame on success.
+    ///
+    /// # Errors
+    ///
+    /// * [`MigrateError::NotAllocated`] — the frame is free.
+    /// * [`MigrateError::SameNode`] — `dst` already holds the page.
+    /// * [`MigrateError::Unevictable`] — the page is pinned.
+    /// * [`MigrateError::Busy`] — the page is isolated by another path.
+    /// * [`MigrateError::DstNoMemory`] — `dst` has no free frame; the
+    ///   source page is left untouched.
+    pub fn migrate_page(&mut self, pfn: Pfn, dst: NodeId) -> Result<Pfn, MigrateError> {
+        let (owner, page_type, flags, hotness, last_access, src, lru_kind) = {
+            let frame = self.frames.frame(pfn);
+            let owner = frame.owner().ok_or(MigrateError::NotAllocated { pfn })?;
+            if frame.node() == dst {
+                return Err(MigrateError::SameNode { node: dst });
+            }
+            if frame.flags().contains(PageFlags::UNEVICTABLE) {
+                return Err(MigrateError::Unevictable { pfn });
+            }
+            if frame.flags().contains(PageFlags::ISOLATED) {
+                return Err(MigrateError::Busy { pfn });
+            }
+            (
+                owner,
+                frame.page_type(),
+                frame.flags(),
+                frame.hotness(),
+                frame.last_access_ns(),
+                frame.node(),
+                frame.lru_kind(),
+            )
+        };
+        let new_pfn = match self.frames.alloc(dst, owner, page_type) {
+            Ok(p) => p,
+            Err(AllocError::NoMemory { .. }) | Err(AllocError::InvalidNode { .. }) => {
+                self.vmstat.count(VmEvent::PgMigrateFail);
+                return Err(MigrateError::DstNoMemory { node: dst });
+            }
+        };
+        // Tear down the source.
+        if lru_kind.is_some() {
+            self.nodes[src.index()].lru.remove(&mut self.frames, pfn);
+        }
+        self.frames.free(pfn);
+        // Dress up the destination.
+        {
+            let frame = self.frames.frame_mut(new_pfn);
+            *frame.flags_mut() = flags;
+            frame.flags_mut().remove(PageFlags::ACTIVE); // resynced by LRU link
+            frame.set_hotness(hotness);
+            frame.set_last_access_ns(last_access);
+        }
+        if let Some(kind) = lru_kind {
+            self.nodes[dst.index()].lru.push_front(&mut self.frames, kind, new_pfn);
+        }
+        let space = self
+            .spaces
+            .get_mut(&owner.pid)
+            .unwrap_or_else(|| panic!("owner {} vanished", owner.pid));
+        space.map(owner.vpn, new_pfn);
+        self.vmstat.count(VmEvent::PgMigrateSuccess);
+        Ok(new_pfn)
+    }
+
+    /// Pages `pfn` out to the swap device, freeing the frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::Full`] if the device has no slot; the page is left
+    /// resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free.
+    pub fn swap_out(&mut self, pfn: Pfn) -> Result<SwapSlot, SwapError> {
+        let owner = self
+            .frames
+            .frame(pfn)
+            .owner()
+            .unwrap_or_else(|| panic!("swap_out of free {pfn}"));
+        let slot = self.swap.swap_out(owner)?;
+        let nid = self.frames.frame(pfn).node();
+        self.nodes[nid.index()].lru.remove(&mut self.frames, pfn);
+        self.frames.free(pfn);
+        let space = self
+            .spaces
+            .get_mut(&owner.pid)
+            .unwrap_or_else(|| panic!("owner {} vanished", owner.pid));
+        space.set_swapped(owner.vpn, slot);
+        self.vmstat.count(VmEvent::PswpOut);
+        Ok(slot)
+    }
+
+    /// Brings a swapped-out page back in on `node` (major fault path).
+    ///
+    /// The page joins the inactive LRU of its class.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] if `node` cannot supply a frame (the swap slot is
+    /// left intact so the fault can be retried elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(pid, vpn)` is not currently swapped out.
+    pub fn swap_in(
+        &mut self,
+        pid: Pid,
+        vpn: Vpn,
+        node: NodeId,
+        page_type: PageType,
+    ) -> Result<Pfn, AllocError> {
+        let slot = match self.spaces.get(&pid).and_then(|s| s.translate(vpn)) {
+            Some(PageLocation::Swapped(slot)) => slot,
+            other => panic!("{pid}:{vpn} is not swapped out (found {other:?})"),
+        };
+        let pfn = self.frames.alloc(node, PageKey::new(pid, vpn), page_type)?;
+        self.swap
+            .swap_in(slot)
+            .expect("swap slot vanished while mapped");
+        self.spaces.get_mut(&pid).expect("space vanished").map(vpn, pfn);
+        let kind = LruKind::for_page(page_type, false);
+        self.nodes[node.index()].lru.push_front(&mut self.frames, kind, pfn);
+        self.vmstat.count(VmEvent::PswpIn);
+        self.vmstat.count(VmEvent::PgMajFault);
+        Ok(pfn)
+    }
+
+    /// Drops a clean file page without I/O (page-cache eviction). The next
+    /// access will re-fault and re-read it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free or not file-backed.
+    pub fn drop_file_page(&mut self, pfn: Pfn) {
+        let frame = self.frames.frame(pfn);
+        let owner = frame.owner().unwrap_or_else(|| panic!("drop of free {pfn}"));
+        assert!(
+            frame.page_type().is_file_backed(),
+            "{pfn} is anon; anon pages must be swapped, not dropped"
+        );
+        let nid = frame.node();
+        self.nodes[nid.index()].lru.remove(&mut self.frames, pfn);
+        self.frames.free(pfn);
+        self.spaces
+            .get_mut(&owner.pid)
+            .unwrap_or_else(|| panic!("owner {} vanished", owner.pid))
+            .unmap(owner.vpn);
+        self.eviction_clocks[nid.index()] += 1;
+        self.shadows.insert(
+            owner,
+            Shadow { node: nid, eviction_clock: self.eviction_clocks[nid.index()] },
+        );
+        self.vmstat.count(VmEvent::PgDropFile);
+    }
+
+    // ----- LRU convenience (counted) ---------------------------------------
+
+    /// Activates a page (inactive → active), counting `pgactivate`.
+    pub fn activate_page(&mut self, pfn: Pfn) {
+        let nid = self.frames.frame(pfn).node();
+        if self.frames.frame(pfn).lru_kind().map(|k| k.is_active()) == Some(false) {
+            self.nodes[nid.index()].lru.activate(&mut self.frames, pfn);
+            self.vmstat.count(VmEvent::PgActivate);
+        }
+    }
+
+    /// Deactivates a page (active → inactive), counting `pgdeactivate`.
+    pub fn deactivate_page(&mut self, pfn: Pfn) {
+        let nid = self.frames.frame(pfn).node();
+        if self.frames.frame(pfn).lru_kind().map(|k| k.is_active()) == Some(true) {
+            self.nodes[nid.index()].lru.deactivate(&mut self.frames, pfn);
+            self.vmstat.count(VmEvent::PgDeactivate);
+        }
+    }
+
+    /// Rotates a referenced page to the MRU end of its current list.
+    pub fn rotate_page(&mut self, pfn: Pfn) {
+        let nid = self.frames.frame(pfn).node();
+        if self.frames.frame(pfn).lru_kind().is_some() {
+            self.nodes[nid.index()].lru.move_to_front(&mut self.frames, pfn);
+        }
+    }
+
+    // ----- statistics -------------------------------------------------------
+
+    /// Resident pages per node split `(anon, file)` — the per-node usage
+    /// figure the paper's plots are built on.
+    pub fn node_usage(&self, node: NodeId) -> (u64, u64) {
+        let lru = &self.nodes[node.index()].lru;
+        (lru.anon_total(), lru.file_total())
+    }
+
+    /// Per-process residency: how many of `pid`'s pages live on each node
+    /// (indexed by node), for co-location reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn usage_by_pid(&self, pid: Pid) -> Vec<u64> {
+        let mut out = vec![0u64; self.node_count()];
+        for (_, loc) in self.space(pid).iter() {
+            if let PageLocation::Mapped(pfn) = loc {
+                out[self.frames.frame(pfn).node().index()] += 1;
+            }
+        }
+        out
+    }
+
+    /// Exhaustive cross-structure invariant check, used by tests and
+    /// property tests after every operation sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn validate(&self) {
+        // 1. Per-node frame accounting.
+        for n in &self.nodes {
+            let cap = self.frames.capacity(n.id());
+            let free = self.frames.free_pages(n.id());
+            let used = self.frames.used_pages(n.id());
+            assert_eq!(free + used, cap, "accounting leak on {}", n.id());
+            // 2. LRU linkage.
+            n.lru.validate(&self.frames);
+            // 3. Every allocated frame on this node is on one of its lists
+            //    (the simulator never leaves pages floating off-LRU between
+            //    operations) and its class matches its type.
+            let mut on_lists = 0u64;
+            for kind in LruKind::ALL {
+                on_lists += n.lru.len(kind);
+            }
+            assert_eq!(on_lists, used, "{}: {} pages off-LRU", n.id(), used - on_lists);
+        }
+        // 4. Page-table ↔ frame-owner bijection.
+        let mut mapped = 0u64;
+        for (pid, space) in &self.spaces {
+            for (vpn, loc) in space.iter() {
+                match loc {
+                    PageLocation::Mapped(pfn) => {
+                        mapped += 1;
+                        let frame = self.frames.frame(pfn);
+                        assert_eq!(
+                            frame.owner(),
+                            Some(PageKey::new(*pid, vpn)),
+                            "rmap mismatch at {pfn}"
+                        );
+                    }
+                    PageLocation::Swapped(slot) => {
+                        assert_eq!(
+                            self.swap.peek(slot),
+                            Some(PageKey::new(*pid, vpn)),
+                            "swap slot mismatch at {slot:?}"
+                        );
+                    }
+                }
+            }
+        }
+        let used_total: u64 = (0..self.node_count())
+            .map(|i| self.frames.used_pages(NodeId(i as u8)))
+            .sum();
+        assert_eq!(mapped, used_total, "orphaned frames exist");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> Memory {
+        Memory::builder()
+            .node(NodeKind::LocalDram, 64)
+            .node(NodeKind::Cxl, 128)
+            .swap_pages(256)
+            .build()
+    }
+
+    #[test]
+    fn builder_assigns_demotion_targets_by_distance() {
+        let m = Memory::builder()
+            .node(NodeKind::LocalDram, 16)
+            .node(NodeKind::Cxl, 16)
+            .node(NodeKind::Cxl, 16)
+            .build();
+        assert_eq!(m.node(NodeId(0)).demotion_target(), Some(NodeId(1)));
+        assert_eq!(m.node(NodeId(1)).demotion_target(), None);
+        assert_eq!(m.local_nodes(), vec![NodeId(0)]);
+        assert_eq!(m.cxl_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fallback_order_is_distance_sorted() {
+        let m = Memory::builder()
+            .node(NodeKind::LocalDram, 16)
+            .node(NodeKind::Cxl, 16)
+            .node(NodeKind::Cxl, 16)
+            .build();
+        assert_eq!(m.fallback_order(NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(m.fallback_order(NodeId(2)), vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn alloc_and_map_places_new_pages_on_correct_lru() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let anon = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let file = m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::File).unwrap();
+        // Kernel convention: new anon → active, new file → inactive.
+        assert_eq!(m.frames().frame(anon).lru_kind(), Some(LruKind::AnonActive));
+        assert_eq!(m.frames().frame(file).lru_kind(), Some(LruKind::FileInactive));
+        assert_eq!(m.vmstat().get(VmEvent::PgAllocLocal), 2);
+        m.validate();
+    }
+
+    #[test]
+    fn remote_allocation_counts_as_remote() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        assert_eq!(m.vmstat().get(VmEvent::PgAllocRemote), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PgAllocLocal), 0);
+    }
+
+    #[test]
+    fn migrate_preserves_mapping_type_flags_and_lru_class() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(7), PageType::Anon).unwrap();
+        m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::DEMOTED);
+        let new = m.migrate_page(pfn, NodeId(1)).unwrap();
+        assert_ne!(pfn, new);
+        assert_eq!(m.frames().frame(new).node(), NodeId(1));
+        assert_eq!(m.frames().frame(new).page_type(), PageType::Anon);
+        assert!(m.frames().frame(new).flags().contains(PageFlags::DEMOTED));
+        // Still on an *active* anon list, now on node 1.
+        assert_eq!(m.frames().frame(new).lru_kind(), Some(LruKind::AnonActive));
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(7)),
+            Some(PageLocation::Mapped(new))
+        );
+        assert_eq!(m.vmstat().get(VmEvent::PgMigrateSuccess), 1);
+        m.validate();
+    }
+
+    #[test]
+    fn migrate_to_full_node_fails_cleanly() {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 4)
+            .node(NodeKind::Cxl, 1)
+            .build();
+        m.create_process(Pid(1));
+        // Fill the CXL node.
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(100), PageType::Anon).unwrap();
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let err = m.migrate_page(pfn, NodeId(1)).unwrap_err();
+        assert_eq!(err, MigrateError::DstNoMemory { node: NodeId(1) });
+        // Source untouched.
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(0)),
+            Some(PageLocation::Mapped(pfn))
+        );
+        assert_eq!(m.vmstat().get(VmEvent::PgMigrateFail), 1);
+        m.validate();
+    }
+
+    #[test]
+    fn migrate_same_node_and_unevictable_rejected() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        assert_eq!(
+            m.migrate_page(pfn, NodeId(0)),
+            Err(MigrateError::SameNode { node: NodeId(0) })
+        );
+        m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::UNEVICTABLE);
+        assert_eq!(
+            m.migrate_page(pfn, NodeId(1)),
+            Err(MigrateError::Unevictable { pfn })
+        );
+    }
+
+    #[test]
+    fn swap_out_and_in_round_trip() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon).unwrap();
+        let slot = m.swap_out(pfn).unwrap();
+        assert_eq!(m.free_pages(NodeId(0)), 64);
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(3)),
+            Some(PageLocation::Swapped(slot))
+        );
+        m.validate();
+        let back = m.swap_in(Pid(1), Vpn(3), NodeId(0), PageType::Anon).unwrap();
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(3)),
+            Some(PageLocation::Mapped(back))
+        );
+        assert_eq!(m.vmstat().get(VmEvent::PswpOut), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PswpIn), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PgMajFault), 1);
+        m.validate();
+    }
+
+    #[test]
+    fn drop_file_page_unmaps_entirely() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        m.drop_file_page(pfn);
+        assert_eq!(m.space(Pid(1)).translate(Vpn(3)), None);
+        assert_eq!(m.vmstat().get(VmEvent::PgDropFile), 1);
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "anon pages must be swapped")]
+    fn drop_anon_page_panics() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon).unwrap();
+        m.drop_file_page(pfn);
+    }
+
+    #[test]
+    fn destroy_process_releases_everything() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn0 = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::File).unwrap();
+        m.swap_out(pfn0).unwrap();
+        m.destroy_process(Pid(1));
+        assert_eq!(m.free_pages(NodeId(0)), 64);
+        assert_eq!(m.free_pages(NodeId(1)), 128);
+        assert_eq!(m.swap().used_slots(), 0);
+        assert!(!m.has_process(Pid(1)));
+    }
+
+    #[test]
+    fn activate_deactivate_rotate_count_events() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
+        m.activate_page(pfn);
+        assert_eq!(m.frames().frame(pfn).lru_kind(), Some(LruKind::FileActive));
+        m.activate_page(pfn); // idempotent, no double count
+        assert_eq!(m.vmstat().get(VmEvent::PgActivate), 1);
+        m.deactivate_page(pfn);
+        assert_eq!(m.vmstat().get(VmEvent::PgDeactivate), 1);
+        m.rotate_page(pfn);
+        m.validate();
+    }
+
+    #[test]
+    fn workingset_refault_reactivates_recent_evictions() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        // Keep an active file page around so the refault distance test
+        // has a non-empty active list to compare against.
+        let keeper = m.alloc_and_map(NodeId(0), Pid(1), Vpn(4), PageType::File).unwrap();
+        m.activate_page(keeper);
+        m.drop_file_page(pfn);
+        // Refault immediately: distance 0 <= active_file → activated.
+        let back = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        assert_eq!(m.frames().frame(back).lru_kind(), Some(LruKind::FileActive));
+        assert_eq!(m.vmstat().get(VmEvent::WorkingsetRefault), 1);
+        assert_eq!(m.vmstat().get(VmEvent::WorkingsetActivate), 1);
+        m.validate();
+    }
+
+    #[test]
+    fn distant_refault_stays_inactive() {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 64)
+            .build();
+        m.create_process(Pid(1));
+        let victim = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
+        m.drop_file_page(victim);
+        // Push the eviction clock far past the (empty) active list.
+        for i in 1..20u64 {
+            let p = m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
+            m.drop_file_page(p);
+        }
+        let back = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
+        assert_eq!(m.frames().frame(back).lru_kind(), Some(LruKind::FileInactive));
+        assert_eq!(m.vmstat().get(VmEvent::WorkingsetActivate), 0);
+        assert!(m.vmstat().get(VmEvent::WorkingsetRefault) >= 1);
+    }
+
+    #[test]
+    fn usage_by_pid_counts_per_node() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        m.create_process(Pid(2));
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(2), Vpn(0), PageType::File).unwrap();
+        assert_eq!(m.usage_by_pid(Pid(1)), vec![1, 1]);
+        assert_eq!(m.usage_by_pid(Pid(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn node_usage_splits_by_class() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::Tmpfs).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(2), PageType::File).unwrap();
+        assert_eq!(m.node_usage(NodeId(0)), (1, 2));
+    }
+}

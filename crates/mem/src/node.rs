@@ -1,0 +1,152 @@
+//! Memory node descriptions: CPU-attached local DRAM vs. CPU-less
+//! CXL-attached expanders.
+
+use crate::lru::NodeLru;
+use crate::types::NodeId;
+use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
+
+/// The technology class of a memory node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// DRAM directly attached to a CPU socket: the fast tier.
+    LocalDram,
+    /// CXL-attached memory: appears as a CPU-less NUMA node with
+    /// NUMA-like extra latency (paper §2).
+    Cxl,
+}
+
+impl NodeKind {
+    /// Whether this node has no CPUs (pages here are always "remote").
+    #[inline]
+    pub fn is_cpu_less(self) -> bool {
+        matches!(self, NodeKind::Cxl)
+    }
+
+    /// Default idle load-to-use latency for this tier in nanoseconds.
+    ///
+    /// Local DRAM ~100 ns; CXL ~185 ns (the paper's target: NUMA-like,
+    /// 50–100 ns over local DRAM).
+    pub fn default_latency_ns(self) -> u64 {
+        match self {
+            NodeKind::LocalDram => 100,
+            NodeKind::Cxl => 185,
+        }
+    }
+}
+
+/// Static + runtime state of one memory node (capacity lives in the frame
+/// table; this carries policy-relevant configuration and the LRU lists).
+#[derive(Clone, Debug)]
+pub struct MemoryNode {
+    id: NodeId,
+    kind: NodeKind,
+    latency_ns: u64,
+    watermarks: TppWatermarks,
+    /// Where demotions from this node go (distance-based static choice,
+    /// paper §5.1). `None` for terminal tiers.
+    demotion_target: Option<NodeId>,
+    /// The LRU lists of this node.
+    pub lru: NodeLru,
+}
+
+impl MemoryNode {
+    /// Creates a node of `kind` with `capacity` pages' worth of watermarks
+    /// and the default latency for its tier.
+    pub fn new(id: NodeId, kind: NodeKind, capacity: u64) -> MemoryNode {
+        MemoryNode {
+            id,
+            kind,
+            latency_ns: kind.default_latency_ns(),
+            watermarks: TppWatermarks::for_capacity(capacity, DEFAULT_DEMOTE_SCALE_BP),
+            demotion_target: None,
+            lru: NodeLru::new(id),
+        }
+    }
+
+    /// The node id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The technology class.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Whether this node is CPU-less (a CXL expander).
+    #[inline]
+    pub fn is_cpu_less(&self) -> bool {
+        self.kind.is_cpu_less()
+    }
+
+    /// Idle access latency in nanoseconds.
+    #[inline]
+    pub fn latency_ns(&self) -> u64 {
+        self.latency_ns
+    }
+
+    /// Overrides the access latency (for modelling different CXL device
+    /// generations, FPGA prototypes, etc.).
+    pub fn set_latency_ns(&mut self, ns: u64) {
+        self.latency_ns = ns;
+    }
+
+    /// The watermark set of this node.
+    #[inline]
+    pub fn watermarks(&self) -> &TppWatermarks {
+        &self.watermarks
+    }
+
+    /// Replaces the watermark set (e.g. to change `demote_scale_factor`).
+    pub fn set_watermarks(&mut self, wm: TppWatermarks) {
+        self.watermarks = wm;
+    }
+
+    /// Where demotions from this node should go.
+    #[inline]
+    pub fn demotion_target(&self) -> Option<NodeId> {
+        self.demotion_target
+    }
+
+    /// Sets the demotion target.
+    pub fn set_demotion_target(&mut self, target: Option<NodeId>) {
+        self.demotion_target = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert!(!NodeKind::LocalDram.is_cpu_less());
+        assert!(NodeKind::Cxl.is_cpu_less());
+        assert!(NodeKind::Cxl.default_latency_ns() > NodeKind::LocalDram.default_latency_ns());
+        let extra = NodeKind::Cxl.default_latency_ns() - NodeKind::LocalDram.default_latency_ns();
+        // Paper: CXL adds ~50–100 ns over normal DRAM access.
+        assert!((50..=100).contains(&extra), "extra latency {extra} out of range");
+    }
+
+    #[test]
+    fn node_construction_and_overrides() {
+        let mut node = MemoryNode::new(NodeId(1), NodeKind::Cxl, 10_000);
+        assert_eq!(node.id(), NodeId(1));
+        assert!(node.is_cpu_less());
+        assert_eq!(node.latency_ns(), 185);
+        node.set_latency_ns(250); // FPGA prototype latency
+        assert_eq!(node.latency_ns(), 250);
+        assert_eq!(node.demotion_target(), None);
+        node.set_demotion_target(Some(NodeId(2)));
+        assert_eq!(node.demotion_target(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn watermarks_scale_with_capacity() {
+        let small = MemoryNode::new(NodeId(0), NodeKind::LocalDram, 1_000);
+        let large = MemoryNode::new(NodeId(0), NodeKind::LocalDram, 1_000_000);
+        assert!(large.watermarks().demote_trigger > small.watermarks().demote_trigger);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-process address spaces: the virtual→physical mapping plus swap
+//! entries, and the registry of processes.
+
+use std::collections::HashMap;
+
+use crate::swap::SwapSlot;
+use crate::types::{Pfn, Pid, Vpn};
+
+/// Where a virtual page currently lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageLocation {
+    /// Resident in memory at the given frame.
+    Mapped(Pfn),
+    /// Paged out to the given swap slot.
+    Swapped(SwapSlot),
+}
+
+impl PageLocation {
+    /// The frame, if resident.
+    pub fn pfn(self) -> Option<Pfn> {
+        match self {
+            PageLocation::Mapped(pfn) => Some(pfn),
+            PageLocation::Swapped(_) => None,
+        }
+    }
+}
+
+/// One process' page table.
+///
+/// # Examples
+///
+/// ```
+/// use tiered_mem::{AddressSpace, PageLocation, Pfn, Pid, Vpn};
+///
+/// let mut space = AddressSpace::new(Pid(1));
+/// space.map(Vpn(0), Pfn(42));
+/// assert_eq!(space.translate(Vpn(0)), Some(PageLocation::Mapped(Pfn(42))));
+/// assert_eq!(space.unmap(Vpn(0)), Some(PageLocation::Mapped(Pfn(42))));
+/// assert_eq!(space.translate(Vpn(0)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    pid: Pid,
+    map: HashMap<Vpn, PageLocation>,
+    resident: u64,
+    swapped: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `pid`.
+    pub fn new(pid: Pid) -> AddressSpace {
+        AddressSpace { pid, map: HashMap::new(), resident: 0, swapped: 0 }
+    }
+
+    /// The owning process.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Looks up where `vpn` lives, if anywhere.
+    #[inline]
+    pub fn translate(&self, vpn: Vpn) -> Option<PageLocation> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Number of resident (mapped) pages.
+    #[inline]
+    pub fn resident_pages(&self) -> u64 {
+        self.resident
+    }
+
+    /// Number of swapped-out pages.
+    #[inline]
+    pub fn swapped_pages(&self) -> u64 {
+        self.swapped
+    }
+
+    /// Total pages with any backing (resident + swapped).
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.resident + self.swapped
+    }
+
+    /// Installs a resident mapping, replacing any previous entry.
+    ///
+    /// Returns the previous location, if any.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn) -> Option<PageLocation> {
+        let prev = self.map.insert(vpn, PageLocation::Mapped(pfn));
+        self.account_remove(prev);
+        self.resident += 1;
+        prev
+    }
+
+    /// Marks a page as swapped out, replacing any previous entry.
+    ///
+    /// Returns the previous location, if any.
+    pub fn set_swapped(&mut self, vpn: Vpn, slot: SwapSlot) -> Option<PageLocation> {
+        let prev = self.map.insert(vpn, PageLocation::Swapped(slot));
+        self.account_remove(prev);
+        self.swapped += 1;
+        prev
+    }
+
+    /// Removes the entry for `vpn`, returning where it was.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<PageLocation> {
+        let prev = self.map.remove(&vpn);
+        self.account_remove(prev);
+        prev
+    }
+
+    fn account_remove(&mut self, prev: Option<PageLocation>) {
+        match prev {
+            Some(PageLocation::Mapped(_)) => self.resident -= 1,
+            Some(PageLocation::Swapped(_)) => self.swapped -= 1,
+            None => {}
+        }
+    }
+
+    /// Iterates all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageLocation)> + '_ {
+        self.map.iter().map(|(&v, &l)| (v, l))
+    }
+
+    /// Collects all VPNs, sorted (for deterministic scanning).
+    pub fn sorted_vpns(&self) -> Vec<Vpn> {
+        let mut v: Vec<Vpn> = self.map.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_unmap_accounting() {
+        let mut s = AddressSpace::new(Pid(9));
+        assert_eq!(s.pid(), Pid(9));
+        s.map(Vpn(1), Pfn(100));
+        s.map(Vpn(2), Pfn(101));
+        assert_eq!(s.resident_pages(), 2);
+        assert_eq!(s.total_pages(), 2);
+        s.unmap(Vpn(1));
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(s.translate(Vpn(1)), None);
+        assert_eq!(s.translate(Vpn(2)), Some(PageLocation::Mapped(Pfn(101))));
+    }
+
+    #[test]
+    fn swap_transition_keeps_counts_consistent() {
+        let mut s = AddressSpace::new(Pid(1));
+        s.map(Vpn(5), Pfn(7));
+        let prev = s.set_swapped(Vpn(5), SwapSlot(3));
+        assert_eq!(prev, Some(PageLocation::Mapped(Pfn(7))));
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.swapped_pages(), 1);
+        // Swap-in: back to mapped.
+        let prev = s.map(Vpn(5), Pfn(8));
+        assert_eq!(prev, Some(PageLocation::Swapped(SwapSlot(3))));
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(s.swapped_pages(), 0);
+    }
+
+    #[test]
+    fn remap_replaces_without_leaking_counts() {
+        let mut s = AddressSpace::new(Pid(1));
+        s.map(Vpn(5), Pfn(7));
+        s.map(Vpn(5), Pfn(9));
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(s.translate(Vpn(5)), Some(PageLocation::Mapped(Pfn(9))));
+    }
+
+    #[test]
+    fn unmap_missing_is_none() {
+        let mut s = AddressSpace::new(Pid(1));
+        assert_eq!(s.unmap(Vpn(77)), None);
+        assert_eq!(s.total_pages(), 0);
+    }
+
+    #[test]
+    fn sorted_vpns_are_sorted() {
+        let mut s = AddressSpace::new(Pid(1));
+        for v in [9u64, 3, 7, 1] {
+            s.map(Vpn(v), Pfn(v as u32));
+        }
+        assert_eq!(
+            s.sorted_vpns(),
+            vec![Vpn(1), Vpn(3), Vpn(7), Vpn(9)]
+        );
+    }
+
+    #[test]
+    fn page_location_pfn_helper() {
+        assert_eq!(PageLocation::Mapped(Pfn(4)).pfn(), Some(Pfn(4)));
+        assert_eq!(PageLocation::Swapped(SwapSlot(1)).pfn(), None);
+    }
+}

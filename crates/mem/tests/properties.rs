@@ -1,0 +1,199 @@
+//! Property-based tests for the memory substrate: arbitrary operation
+//! sequences must never break the cross-structure invariants that
+//! `Memory::validate` checks (frame accounting, LRU partition, page-table
+//! ↔ rmap bijection, swap-slot consistency).
+
+use proptest::prelude::*;
+
+use tiered_mem::{
+    LruKind, Memory, NodeId, NodeKind, PageLocation, PageType, Pfn, Pid, Vpn,
+};
+
+/// One step of a random workload against the substrate.
+#[derive(Clone, Debug)]
+enum Op {
+    Map { node: u8, vpn: u64, ptype: u8 },
+    Release { vpn: u64 },
+    Migrate { vpn: u64, dst: u8 },
+    SwapOut { vpn: u64 },
+    SwapIn { vpn: u64, node: u8 },
+    Activate { vpn: u64 },
+    Deactivate { vpn: u64 },
+    Rotate { vpn: u64 },
+    DropFile { vpn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2u8, 0..32u64, 0..3u8).prop_map(|(node, vpn, ptype)| Op::Map { node, vpn, ptype }),
+        (0..32u64).prop_map(|vpn| Op::Release { vpn }),
+        (0..32u64, 0..2u8).prop_map(|(vpn, dst)| Op::Migrate { vpn, dst }),
+        (0..32u64).prop_map(|vpn| Op::SwapOut { vpn }),
+        (0..32u64, 0..2u8).prop_map(|(vpn, node)| Op::SwapIn { vpn, node }),
+        (0..32u64).prop_map(|vpn| Op::Activate { vpn }),
+        (0..32u64).prop_map(|vpn| Op::Deactivate { vpn }),
+        (0..32u64).prop_map(|vpn| Op::Rotate { vpn }),
+        (0..32u64).prop_map(|vpn| Op::DropFile { vpn }),
+    ]
+}
+
+fn ptype_of(code: u8) -> PageType {
+    match code % 3 {
+        0 => PageType::Anon,
+        1 => PageType::File,
+        _ => PageType::Tmpfs,
+    }
+}
+
+fn small_memory() -> Memory {
+    Memory::builder()
+        .node(NodeKind::LocalDram, 24)
+        .node(NodeKind::Cxl, 24)
+        .swap_pages(64)
+        .build()
+}
+
+fn mapped_pfn(m: &Memory, pid: Pid, vpn: Vpn) -> Option<Pfn> {
+    m.space(pid).translate(vpn).and_then(|l| l.pfn())
+}
+
+fn apply(m: &mut Memory, pid: Pid, op: &Op) {
+    match *op {
+        Op::Map { node, vpn, ptype } => {
+            let vpn = Vpn(vpn);
+            if m.space(pid).translate(vpn).is_none() {
+                let _ = m.alloc_and_map(NodeId(node), pid, vpn, ptype_of(ptype));
+            }
+        }
+        Op::Release { vpn } => {
+            m.release(pid, Vpn(vpn));
+        }
+        Op::Migrate { vpn, dst } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                let _ = m.migrate_page(pfn, NodeId(dst));
+            }
+        }
+        Op::SwapOut { vpn } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                let _ = m.swap_out(pfn);
+            }
+        }
+        Op::SwapIn { vpn, node } => {
+            let vpn = Vpn(vpn);
+            if let Some(PageLocation::Swapped(_)) = m.space(pid).translate(vpn) {
+                // Page type must match the LRU class later; anon is fine as
+                // the simulator re-types on swap-in like a fresh mapping.
+                let _ = m.swap_in(pid, vpn, NodeId(node), PageType::Anon);
+            }
+        }
+        Op::Activate { vpn } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                m.activate_page(pfn);
+            }
+        }
+        Op::Deactivate { vpn } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                m.deactivate_page(pfn);
+            }
+        }
+        Op::Rotate { vpn } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                m.rotate_page(pfn);
+            }
+        }
+        Op::DropFile { vpn } => {
+            if let Some(pfn) = mapped_pfn(m, pid, Vpn(vpn)) {
+                if m.frames().frame(pfn).page_type().is_file_backed() {
+                    m.drop_file_page(pfn);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any op sequence leaves all substrate invariants intact.
+    #[test]
+    fn random_ops_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut m = small_memory();
+        let pid = Pid(1);
+        m.create_process(pid);
+        for op in &ops {
+            apply(&mut m, pid, op);
+            m.validate();
+        }
+    }
+
+    /// Free + used always equals capacity regardless of op order, and the
+    /// swap device never leaks slots after process destruction.
+    #[test]
+    fn teardown_releases_all_resources(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut m = small_memory();
+        let pid = Pid(1);
+        m.create_process(pid);
+        for op in &ops {
+            apply(&mut m, pid, op);
+        }
+        m.destroy_process(pid);
+        prop_assert_eq!(m.free_pages(NodeId(0)), 24);
+        prop_assert_eq!(m.free_pages(NodeId(1)), 24);
+        prop_assert_eq!(m.swap().used_slots(), 0);
+    }
+
+    /// Migration never changes what a process observes: the (vpn → type)
+    /// view is identical before and after a migration pass.
+    #[test]
+    fn migration_is_transparent_to_the_process(
+        vpns in prop::collection::btree_set(0..64u64, 1..24),
+    ) {
+        let mut m = small_memory();
+        let pid = Pid(1);
+        m.create_process(pid);
+        let mut view = Vec::new();
+        for (i, &v) in vpns.iter().enumerate() {
+            let ptype = ptype_of(i as u8);
+            if m.alloc_and_map(NodeId(0), pid, Vpn(v), ptype).is_ok() {
+                view.push((Vpn(v), ptype));
+            }
+        }
+        // Migrate everything we can to the CXL node.
+        for &(vpn, _) in &view {
+            if let Some(pfn) = mapped_pfn(&m, pid, vpn) {
+                let _ = m.migrate_page(pfn, NodeId(1));
+            }
+        }
+        for &(vpn, ptype) in &view {
+            let pfn = mapped_pfn(&m, pid, vpn).expect("mapping lost in migration");
+            prop_assert_eq!(m.frames().frame(pfn).page_type(), ptype);
+            prop_assert_eq!(m.frames().frame(pfn).owner().unwrap().vpn, vpn);
+        }
+        m.validate();
+    }
+
+    /// LRU lists form a partition of each node's allocated pages: every
+    /// allocated frame is on exactly one list, with the class matching its
+    /// page type.
+    #[test]
+    fn lru_is_a_partition(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut m = small_memory();
+        let pid = Pid(1);
+        m.create_process(pid);
+        for op in &ops {
+            apply(&mut m, pid, op);
+        }
+        for node in [NodeId(0), NodeId(1)] {
+            let mut counted = 0u64;
+            for kind in LruKind::ALL {
+                for pfn in m.node(node).lru.collect(m.frames(), kind) {
+                    let f = m.frames().frame(pfn);
+                    prop_assert!(f.is_allocated());
+                    prop_assert_eq!(f.page_type().is_anon(), kind.is_anon());
+                    counted += 1;
+                }
+            }
+            prop_assert_eq!(counted, m.frames().used_pages(node));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulated time: a nanosecond clock and periodic-deadline helpers.
+//!
+//! The whole simulation is single-threaded and deterministic; "time" only
+//! advances when simulated work (CPU bursts, memory stalls, daemon
+//! budgets) consumes it.
+
+/// Nanoseconds per microsecond.
+pub const US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const SEC: u64 = 1_000_000_000;
+/// Nanoseconds per minute.
+pub const MINUTE: u64 = 60 * SEC;
+
+/// The simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use tiered_sim::{SimClock, MS};
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(5 * MS);
+/// assert_eq!(clock.now_ns(), 5_000_000);
+/// assert!((clock.now_secs() - 0.005).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock { now_ns: 0 }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns as f64 / SEC as f64
+    }
+
+    /// Advances the clock by `delta_ns`.
+    #[inline]
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+}
+
+/// Tracks a periodic deadline (daemon wakeups, stat sampling).
+///
+/// # Examples
+///
+/// ```
+/// use tiered_sim::{Periodic, MS};
+///
+/// let mut timer = Periodic::new(10 * MS);
+/// assert_eq!(timer.fire(5 * MS), 0);
+/// assert_eq!(timer.fire(10 * MS), 1);
+/// assert_eq!(timer.fire(45 * MS), 3); // catches up across 20, 30, 40 ms
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Periodic {
+    period_ns: u64,
+    next_ns: u64,
+}
+
+impl Periodic {
+    /// A timer that first fires at `period_ns` and every `period_ns`
+    /// thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns` is zero.
+    pub fn new(period_ns: u64) -> Periodic {
+        assert!(period_ns > 0, "period must be positive");
+        Periodic { period_ns, next_ns: period_ns }
+    }
+
+    /// The configured period.
+    #[inline]
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// The next deadline.
+    #[inline]
+    pub fn next_deadline_ns(&self) -> u64 {
+        self.next_ns
+    }
+
+    /// Returns how many periods elapsed up to `now_ns` and advances the
+    /// deadline past `now_ns`. Returns 0 if the deadline has not arrived.
+    pub fn fire(&mut self, now_ns: u64) -> u32 {
+        if now_ns < self.next_ns {
+            return 0;
+        }
+        let elapsed = now_ns - self.next_ns;
+        let fires = 1 + (elapsed / self.period_ns) as u32;
+        self.next_ns += fires as u64 * self.period_ns;
+        fires
+    }
+
+    /// Resets the timer so the next fire is one period after `now_ns`.
+    pub fn reset(&mut self, now_ns: u64) {
+        self.next_ns = now_ns + self.period_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(100);
+        c.advance(SEC);
+        assert_eq!(c.now_ns(), SEC + 100);
+    }
+
+    #[test]
+    fn periodic_fires_exactly_on_deadline() {
+        let mut p = Periodic::new(100);
+        assert_eq!(p.fire(99), 0);
+        assert_eq!(p.fire(100), 1);
+        assert_eq!(p.fire(150), 0);
+        assert_eq!(p.fire(200), 1);
+    }
+
+    #[test]
+    fn periodic_catches_up_after_long_gap() {
+        let mut p = Periodic::new(100);
+        assert_eq!(p.fire(1000), 10);
+        assert_eq!(p.next_deadline_ns(), 1100);
+        assert_eq!(p.fire(1000), 0);
+    }
+
+    #[test]
+    fn periodic_reset_pushes_deadline_out() {
+        let mut p = Periodic::new(100);
+        p.reset(450);
+        assert_eq!(p.fire(500), 0);
+        assert_eq!(p.fire(550), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        Periodic::new(0);
+    }
+
+    #[test]
+    fn unit_constants_consistent() {
+        assert_eq!(MS, 1000 * US);
+        assert_eq!(SEC, 1000 * MS);
+        assert_eq!(MINUTE, 60 * SEC);
+    }
+}

@@ -1,0 +1,363 @@
+//! Access-trace recording and replay.
+//!
+//! A [`TraceRecorder`] captures the resolved access stream of a run (it
+//! is an [`AccessObserver`], like the Chameleon profiler); the resulting
+//! [`Trace`] can be saved, inspected, and replayed as a [`Workload`] —
+//! which makes cross-policy comparisons possible on *identical* access
+//! sequences, and lets experiments be re-run from captured traffic
+//! instead of generators.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use tiered_mem::{NodeId, PageType, Pid, Vpn};
+
+use crate::rng::SimRng;
+use crate::trace::{Access, AccessKind, AccessObserver, Op, Workload, WorkloadEvent};
+
+/// One recorded access with its timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// When the access happened.
+    pub now_ns: u64,
+    /// The access itself.
+    pub access: Access,
+}
+
+/// A captured access trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in capture order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Duration covered by the trace.
+    pub fn duration_ns(&self) -> u64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.now_ns - a.now_ns,
+            _ => 0,
+        }
+    }
+
+    /// Serialises to a compact line format:
+    /// `now_ns pid vpn L|S a|f|t` per record.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 24);
+        for r in &self.records {
+            let kind = match r.access.kind {
+                AccessKind::Load => 'L',
+                AccessKind::Store => 'S',
+            };
+            let ty = match r.access.page_type {
+                PageType::Anon => 'a',
+                PageType::File => 'f',
+                PageType::Tmpfs => 't',
+            };
+            let _ = writeln!(
+                out,
+                "{} {} {} {kind} {ty}",
+                r.now_ns, r.access.pid.0, r.access.vpn.0
+            );
+        }
+        out
+    }
+}
+
+/// Parse error for the trace text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the malformed record.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed trace record on line {}", self.line)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Trace, ParseTraceError> {
+        let mut records = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = || ParseTraceError { line: i + 1 };
+            let mut parts = line.split_whitespace();
+            let now_ns: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let pid: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let vpn: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let kind = match parts.next().ok_or_else(err)? {
+                "L" => AccessKind::Load,
+                "S" => AccessKind::Store,
+                _ => return Err(err()),
+            };
+            let page_type = match parts.next().ok_or_else(err)? {
+                "a" => PageType::Anon,
+                "f" => PageType::File,
+                "t" => PageType::Tmpfs,
+                _ => return Err(err()),
+            };
+            if parts.next().is_some() {
+                return Err(err());
+            }
+            records.push(TraceRecord {
+                now_ns,
+                access: Access { pid: Pid(pid), vpn: Vpn(vpn), kind, page_type },
+            });
+        }
+        Ok(Trace { records })
+    }
+}
+
+/// Records every observed access into a [`Trace`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    trace: Trace,
+    limit: Option<usize>,
+}
+
+impl TraceRecorder {
+    /// An unbounded recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// A recorder that stops capturing after `limit` accesses (the run
+    /// continues; excess accesses are simply not recorded).
+    pub fn with_limit(limit: usize) -> TraceRecorder {
+        TraceRecorder { trace: Trace::new(), limit: Some(limit) }
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl AccessObserver for TraceRecorder {
+    fn on_access(&mut self, now_ns: u64, access: &Access, _node: NodeId) {
+        if let Some(limit) = self.limit {
+            if self.trace.records.len() >= limit {
+                return;
+            }
+        }
+        self.trace.records.push(TraceRecord { now_ns, access: *access });
+    }
+}
+
+/// Replays a [`Trace`] as a [`Workload`].
+///
+/// Records are grouped into ops of `accesses_per_op`; each op's CPU time
+/// is the recorded timestamp span of its accesses, so the replay's
+/// *demand* pacing approximates the original run (actual timing still
+/// depends on the placement it gets).
+#[derive(Clone, Debug)]
+pub struct TraceWorkload {
+    trace: Trace,
+    pid: Pid,
+    accesses_per_op: usize,
+    cursor: usize,
+    name: String,
+}
+
+impl TraceWorkload {
+    /// Creates a replay workload from a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `accesses_per_op` is zero.
+    pub fn new(trace: Trace, accesses_per_op: usize) -> TraceWorkload {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        assert!(accesses_per_op > 0, "accesses_per_op must be positive");
+        let pid = trace.records[0].access.pid;
+        TraceWorkload {
+            trace,
+            pid,
+            accesses_per_op,
+            cursor: 0,
+            name: "trace-replay".to_string(),
+        }
+    }
+
+    /// Whether the replay has wrapped at least once.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn next_op(&mut self, _now_ns: u64, _rng: &mut SimRng) -> Op {
+        let n = self.trace.records.len();
+        let mut events = Vec::with_capacity(self.accesses_per_op);
+        let start_ts = self.trace.records[self.cursor % n].now_ns;
+        let mut end_ts = start_ts;
+        for _ in 0..self.accesses_per_op {
+            let r = self.trace.records[self.cursor % n];
+            self.cursor += 1;
+            // Wrapped around: timestamps restart, close the op here.
+            if r.now_ns < end_ts {
+                self.cursor -= 1;
+                break;
+            }
+            end_ts = r.now_ns;
+            events.push(WorkloadEvent::Access(r.access));
+        }
+        if events.is_empty() {
+            // At a wrap boundary: emit the first record fresh.
+            self.cursor %= n;
+            let r = self.trace.records[self.cursor];
+            self.cursor += 1;
+            events.push(WorkloadEvent::Access(r.access));
+            end_ts = start_ts;
+        }
+        Op { cpu_ns: (end_ts - start_ts).max(1_000), events }
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        let mut vpns: Vec<u64> = self.trace.records.iter().map(|r| r.access.vpn.0).collect();
+        vpns.sort_unstable();
+        vpns.dedup();
+        vpns.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: u64, vpn: u64, kind: AccessKind) -> TraceRecord {
+        TraceRecord {
+            now_ns: t,
+            access: Access {
+                pid: Pid(1),
+                vpn: Vpn(vpn),
+                kind,
+                page_type: PageType::Anon,
+            },
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.records = vec![
+            record(100, 1, AccessKind::Load),
+            record(200, 2, AccessKind::Store),
+            record(350, 1, AccessKind::Load),
+            record(500, 3, AccessKind::Load),
+        ];
+        t
+    }
+
+    #[test]
+    fn recorder_captures_in_order() {
+        let mut rec = TraceRecorder::new();
+        for r in sample_trace().records() {
+            rec.on_access(r.now_ns, &r.access, NodeId(0));
+        }
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.duration_ns(), 400);
+        assert_eq!(trace.records()[1].access.vpn, Vpn(2));
+    }
+
+    #[test]
+    fn recorder_limit_truncates() {
+        let mut rec = TraceRecorder::with_limit(2);
+        for r in sample_trace().records() {
+            rec.on_access(r.now_ns, &r.access, NodeId(0));
+        }
+        assert_eq!(rec.trace().len(), 2);
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let parsed: Trace = text.parse().unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = "100 1 2 L a\nnot a record\n".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = "100 1 2 X a".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = "100 1 2 L a extra".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let parsed: Trace = "\n100 1 2 L a\n\n".parse().unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn replay_preserves_access_order_and_pacing() {
+        let mut w = TraceWorkload::new(sample_trace(), 2);
+        let mut rng = SimRng::seed(1);
+        let op1 = w.next_op(0, &mut rng);
+        assert_eq!(op1.access_count(), 2);
+        // Recorded span is 100 ns (200 - 100); the 1 µs op floor applies.
+        assert_eq!(op1.cpu_ns, 1_000);
+        let op2 = w.next_op(0, &mut rng);
+        assert_eq!(op2.access_count(), 2);
+        assert_eq!(op2.cpu_ns, 1_000); // span 150 ns, floored
+        // Wraps around and keeps going.
+        let op3 = w.next_op(0, &mut rng);
+        assert!(op3.access_count() >= 1);
+    }
+
+    #[test]
+    fn replay_working_set_counts_unique_pages() {
+        let w = TraceWorkload::new(sample_trace(), 2);
+        assert_eq!(w.working_set_pages(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        TraceWorkload::new(Trace::new(), 4);
+    }
+}

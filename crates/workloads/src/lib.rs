@@ -1,0 +1,47 @@
+//! # tiered-workloads
+//!
+//! Synthetic datacenter workload generators calibrated to the production
+//! characterization in *TPP: Transparent Page Placement for CXL-Enabled
+//! Tiered Memory* (ASPLOS 2023), §3.
+//!
+//! Four profiles mirror the paper's services — [`web`], [`cache1`],
+//! [`cache2`], and [`data_warehouse`] — each assembled from:
+//!
+//! * [`WindowedRegion`]s: contiguous anon/file/tmpfs ranges whose hot
+//!   window slides slowly, reproducing the paper's page-temperature,
+//!   usage-over-time, and re-access-interval findings (Figures 7–11);
+//! * a [`TransientPool`] of short-lived request pages (§5.2's "new
+//!   allocations are short-lived and hot");
+//! * an optional warm-up phase that sequentially materialises file
+//!   caches (the behaviour that pressures the local node in §6.2.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use tiered_sim::{SimRng, Workload};
+//!
+//! let mut workload = tiered_workloads::web(10_000).build();
+//! let mut rng = SimRng::seed(1);
+//! let op = workload.next_op(0, &mut rng);
+//! assert!(!op.events.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod profiles;
+mod region;
+mod synthetic;
+mod transient;
+mod zipf;
+
+pub use profiles::{
+    all_production, batch_analytics, cache1, cache2, data_warehouse, kv_store, uniform, web,
+    ANON_BASE_VPN, FILE_BASE_VPN,
+};
+pub use region::{Growth, RegionSpec, WindowedRegion};
+pub use synthetic::{
+    SyntheticWorkload, TransientSpec, WarmupSpec, WorkloadProfile, TRANSIENT_BASE_VPN,
+};
+pub use transient::TransientPool;
+pub use zipf::ZipfSampler;

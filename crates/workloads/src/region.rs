@@ -1,0 +1,288 @@
+//! Windowed memory regions: the access-locality model behind the
+//! synthetic workloads.
+//!
+//! Each region is a contiguous range of virtual pages of one type. At any
+//! instant a *window* (a fraction of the region) is "hot": accesses are
+//! Zipf-distributed within it. The window slides slowly over the region,
+//! which produces exactly the phenomena the paper characterises:
+//!
+//! * a bounded fraction of memory is touched within a 1–2 minute interval
+//!   (paper Figure 7/8 — the window size),
+//! * pages cool down and are re-accessed minutes later (Figure 11 — the
+//!   window's cycle period),
+//! * usage patterns stay steady over time (Figure 9).
+
+use tiered_mem::{PageType, Vpn};
+use tiered_sim::{AccessKind, SimRng, SEC};
+
+use crate::zipf::ZipfSampler;
+
+/// Optional growth of a region's allocated footprint over time (e.g. Web's
+/// anon usage growing while file caches are discarded, Figure 9a).
+#[derive(Clone, Copy, Debug)]
+pub struct Growth {
+    /// Fraction of the region allocated at time zero.
+    pub initial_frac: f64,
+    /// Pages added per simulated second until the region is full.
+    pub pages_per_sec: f64,
+}
+
+/// Static description of a windowed region.
+#[derive(Clone, Debug)]
+pub struct RegionSpec {
+    /// First virtual page of the region.
+    pub base_vpn: u64,
+    /// Region size in pages.
+    pub pages: u64,
+    /// Page type materialised on first touch.
+    pub page_type: PageType,
+    /// Fraction of the (allocated) region inside the hot window.
+    pub window_frac: f64,
+    /// How long the window rests before sliding.
+    pub dwell_ns: u64,
+    /// Pages the window slides per dwell.
+    pub step_pages: u64,
+    /// Zipf skew of accesses within the window (0 = uniform).
+    pub zipf_skew: f64,
+    /// Fraction of accesses that are stores.
+    pub store_frac: f64,
+    /// Footprint growth over time, if any.
+    pub growth: Option<Growth>,
+    /// Fraction of accesses aimed at the *newest* allocated pages (the
+    /// allocation frontier) instead of the sliding window. Newly
+    /// allocated memory is hot in datacenter services (paper §5.2) — and
+    /// it is exactly what default Linux strands on the CXL node during
+    /// an allocation surge.
+    pub frontier_weight: f64,
+    /// Size of the frontier as a fraction of the allocated footprint.
+    pub frontier_frac: f64,
+    /// Probability of a one-off touch to a uniformly random page of the
+    /// whole region (the long tail of sporadic accesses — what instant
+    /// promotion wastes migrations on and TPP's active-LRU filter
+    /// ignores, §5.3).
+    pub tail_weight: f64,
+}
+
+impl RegionSpec {
+    /// A steady region with sensible defaults: 30 s dwell, window sliding
+    /// 5% of itself per dwell, mild skew, read-mostly.
+    pub fn steady(base_vpn: u64, pages: u64, page_type: PageType, window_frac: f64) -> RegionSpec {
+        let window = ((pages as f64 * window_frac) as u64).max(1);
+        RegionSpec {
+            base_vpn,
+            pages,
+            page_type,
+            window_frac,
+            dwell_ns: 30 * SEC,
+            step_pages: (window / 20).max(1),
+            zipf_skew: 0.8,
+            store_frac: 0.2,
+            growth: None,
+            frontier_weight: 0.0,
+            frontier_frac: 0.05,
+            tail_weight: 0.0,
+        }
+    }
+}
+
+/// Runtime sampler for one region.
+#[derive(Clone, Debug)]
+pub struct WindowedRegion {
+    spec: RegionSpec,
+    zipf: ZipfSampler,
+}
+
+impl WindowedRegion {
+    /// Builds the sampler for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or `window_frac` is outside `(0, 1]`.
+    pub fn new(spec: RegionSpec) -> WindowedRegion {
+        assert!(spec.pages > 0, "empty region");
+        assert!(
+            spec.window_frac > 0.0 && spec.window_frac <= 1.0,
+            "window_frac {} out of (0,1]",
+            spec.window_frac
+        );
+        let max_window = ((spec.pages as f64 * spec.window_frac) as u64).max(1);
+        let zipf = ZipfSampler::new(max_window, spec.zipf_skew);
+        WindowedRegion { spec, zipf }
+    }
+
+    /// The region's static description.
+    pub fn spec(&self) -> &RegionSpec {
+        &self.spec
+    }
+
+    /// Pages allocated (touchable) at `now_ns`, honouring growth.
+    pub fn allocated_pages(&self, now_ns: u64) -> u64 {
+        match self.spec.growth {
+            None => self.spec.pages,
+            Some(g) => {
+                let initial = (self.spec.pages as f64 * g.initial_frac) as u64;
+                let grown = (now_ns as f64 / SEC as f64 * g.pages_per_sec) as u64;
+                (initial + grown).min(self.spec.pages).max(1)
+            }
+        }
+    }
+
+    /// Current hot-window size in pages.
+    pub fn window_pages(&self, now_ns: u64) -> u64 {
+        ((self.allocated_pages(now_ns) as f64 * self.spec.window_frac) as u64).max(1)
+    }
+
+    /// First page offset of the hot window at `now_ns`.
+    ///
+    /// The window starts mid-region (not at offset 0) so the hot set is
+    /// decoupled from allocation order from the first instant — hot pages
+    /// are *not* conveniently the pages that happened to land on the
+    /// local node during warm-up.
+    pub fn window_start(&self, now_ns: u64) -> u64 {
+        let allocated = self.allocated_pages(now_ns);
+        let steps = now_ns / self.spec.dwell_ns;
+        (self.spec.pages / 2 + steps.wrapping_mul(self.spec.step_pages)) % allocated
+    }
+
+    /// Time for the window to cycle the entire (full-size) region once —
+    /// the region's re-access period (Figure 11).
+    pub fn cycle_ns(&self) -> u64 {
+        (self.spec.pages / self.spec.step_pages.max(1)).max(1) * self.spec.dwell_ns
+    }
+
+    /// Whether `vpn` belongs to this region.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn.0 >= self.spec.base_vpn && vpn.0 < self.spec.base_vpn + self.spec.pages
+    }
+
+    /// Draws one access at `now_ns`.
+    pub fn sample(&self, now_ns: u64, rng: &mut SimRng) -> (Vpn, AccessKind) {
+        let allocated = self.allocated_pages(now_ns);
+        let offset = if self.spec.tail_weight > 0.0 && rng.chance(self.spec.tail_weight) {
+            // Sporadic one-off touch anywhere in the region.
+            rng.range(0..allocated)
+        } else if self.spec.frontier_weight > 0.0 && rng.chance(self.spec.frontier_weight)
+        {
+            // Hot allocation frontier: the newest pages.
+            let frontier = ((allocated as f64 * self.spec.frontier_frac) as u64).max(1);
+            allocated - 1 - rng.range(0..frontier)
+        } else {
+            let window = self.window_pages(now_ns);
+            let start = self.window_start(now_ns);
+            let rank = self.zipf.sample(rng) % window;
+            (start + rank) % allocated
+        };
+        let vpn = Vpn(self.spec.base_vpn + offset);
+        let kind = if rng.chance(self.spec.store_frac) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        (vpn, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tiered_sim::MINUTE;
+
+    fn region(window_frac: f64) -> WindowedRegion {
+        WindowedRegion::new(RegionSpec::steady(1000, 10_000, PageType::Anon, window_frac))
+    }
+
+    #[test]
+    fn samples_stay_inside_region() {
+        let r = region(0.3);
+        let mut rng = SimRng::seed(1);
+        for t in [0u64, SEC, MINUTE, 10 * MINUTE] {
+            for _ in 0..1000 {
+                let (vpn, _) = r.sample(t, &mut rng);
+                assert!(r.contains(vpn), "{vpn} outside region at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_within_interval_tracks_window_frac() {
+        // Unique pages touched in a 2-minute interval should approximate
+        // window_frac plus a little drift — the Figure 7 quantity.
+        let r = region(0.30);
+        let mut rng = SimRng::seed(2);
+        let mut touched = HashSet::new();
+        // ~200k accesses spread over 2 minutes.
+        for i in 0..200_000u64 {
+            let t = i * (2 * MINUTE / 200_000);
+            let (vpn, _) = r.sample(t, &mut rng);
+            touched.insert(vpn);
+        }
+        let frac = touched.len() as f64 / 10_000.0;
+        assert!(
+            (0.25..0.45).contains(&frac),
+            "2-min coverage {frac} far from window 0.30"
+        );
+    }
+
+    #[test]
+    fn window_slides_over_time() {
+        let r = region(0.2);
+        let s0 = r.window_start(0);
+        let s1 = r.window_start(r.spec().dwell_ns);
+        assert_ne!(s0, s1);
+        assert_eq!((s1 - s0) % r.spec().step_pages, 0);
+    }
+
+    #[test]
+    fn cycle_period_is_pages_over_step() {
+        let r = region(0.2);
+        let expected = (10_000 / r.spec().step_pages) * r.spec().dwell_ns;
+        assert_eq!(r.cycle_ns(), expected);
+    }
+
+    #[test]
+    fn growth_expands_allocated_footprint() {
+        let mut spec = RegionSpec::steady(0, 1000, PageType::Anon, 0.5);
+        spec.growth = Some(Growth { initial_frac: 0.1, pages_per_sec: 10.0 });
+        let r = WindowedRegion::new(spec);
+        assert_eq!(r.allocated_pages(0), 100);
+        assert_eq!(r.allocated_pages(10 * SEC), 200);
+        assert_eq!(r.allocated_pages(1000 * SEC), 1000); // capped
+    }
+
+    #[test]
+    fn store_fraction_respected() {
+        let mut spec = RegionSpec::steady(0, 100, PageType::File, 0.5);
+        spec.store_frac = 1.0;
+        let r = WindowedRegion::new(spec);
+        let mut rng = SimRng::seed(3);
+        for _ in 0..100 {
+            let (_, kind) = r.sample(0, &mut rng);
+            assert_eq!(kind, AccessKind::Store);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_within_window() {
+        let mut spec = RegionSpec::steady(0, 10_000, PageType::Anon, 0.5);
+        spec.zipf_skew = 1.1;
+        spec.dwell_ns = u64::MAX; // freeze the window
+        let r = WindowedRegion::new(spec);
+        let mut rng = SimRng::seed(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let (vpn, _) = r.sample(0, &mut rng);
+            *counts.entry(vpn).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let head: u32 = freqs.iter().take(50).sum();
+        assert!(head as f64 / 100_000.0 > 0.3, "no skew: head={head}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window_frac")]
+    fn invalid_window_rejected() {
+        WindowedRegion::new(RegionSpec::steady(0, 10, PageType::Anon, 0.0));
+    }
+}

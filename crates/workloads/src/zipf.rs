@@ -1,0 +1,147 @@
+//! A Zipf(s) sampler over `[0, n)` with an exact precomputed CDF.
+//!
+//! Datacenter access skew is classically Zipf-like; the workload
+//! generators use this within their active windows to concentrate traffic
+//! on the hottest pages.
+
+use tiered_sim::SimRng;
+
+/// Samples ranks from a Zipf distribution: `P(k) ∝ 1 / (k+1)^s`.
+///
+/// Built once per region; sampling is O(log n) by binary search over the
+/// cumulative weights.
+///
+/// # Examples
+///
+/// ```
+/// use tiered_sim::SimRng;
+/// use tiered_workloads::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(1000, 0.9);
+/// let mut rng = SimRng::seed(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with skew `s` (`s = 0` is uniform;
+    /// typical web skew is `0.7–1.1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/NaN.
+    pub fn new(n: u64, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "invalid skew {s}");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, s }
+    }
+
+    /// Number of items in the domain.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Whether the domain is empty (never true; `new` rejects `n = 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew parameter.
+    #[inline]
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1) as u64,
+            Err(i) => i as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(zipf: &ZipfSampler, draws: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SimRng::seed(seed);
+        let mut h = vec![0u32; zipf.len() as usize];
+        for _ in 0..draws {
+            h[zipf.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = ZipfSampler::new(10, 1.0);
+        let mut rng = SimRng::seed(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_zero_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(8, 0.0);
+        let h = histogram(&zipf, 80_000, 2);
+        for &c in &h {
+            let frac = c as f64 / 80_000.0;
+            assert!((0.10..0.15).contains(&frac), "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates_on_low_ranks() {
+        let zipf = ZipfSampler::new(1000, 1.2);
+        let h = histogram(&zipf, 100_000, 3);
+        let head: u32 = h[..10].iter().sum();
+        assert!(
+            head as f64 / 100_000.0 > 0.5,
+            "top-10 got only {head} of 100k"
+        );
+        // Rank 0 strictly hotter than rank 100.
+        assert!(h[0] > h[100]);
+    }
+
+    #[test]
+    fn zipf_ratio_matches_theory() {
+        // P(0)/P(1) = 2^s for Zipf(s).
+        let zipf = ZipfSampler::new(100, 1.0);
+        let h = histogram(&zipf, 400_000, 4);
+        let ratio = h[0] as f64 / h[1] as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid skew")]
+    fn negative_skew_rejected() {
+        ZipfSampler::new(10, -1.0);
+    }
+}

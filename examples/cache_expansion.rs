@@ -1,0 +1,54 @@
+//! Memory expansion scenario (paper §6.2.2): a Cache1-style service on a
+//! machine where the local node holds only ~20% of the working set
+//! (local:CXL = 1:4), comparing default Linux against TPP.
+//!
+//! ```text
+//! cargo run --release --example cache_expansion
+//! ```
+
+use tiered_sim::MINUTE;
+use tpp::configs;
+use tpp::experiment::{run_cell, PolicyChoice};
+
+fn main() {
+    let profile = tiered_workloads::cache1(12_000);
+    let ws = profile.working_set_pages();
+    let duration = 3 * MINUTE;
+
+    println!("cache1 working set: {ws} pages; local node holds ~20% of it (1:4)\n");
+
+    // The all-from-local-memory reference.
+    let baseline = run_cell(
+        &profile,
+        configs::all_local(ws),
+        &PolicyChoice::Linux,
+        duration,
+        7,
+    )
+    .expect("all-local always runs");
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>16} {:>10} {:>10}",
+        "policy", "local traffic", "CXL traffic", "vs all-local", "demoted", "swapped"
+    );
+    for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
+        let r = run_cell(&profile, configs::one_to_four(ws), &choice, duration, 7)
+            .expect("both policies support 1:4");
+        println!(
+            "{:<16} {:>13.1}% {:>13.1}% {:>15.1}% {:>10} {:>10}",
+            r.policy,
+            r.local_traffic * 100.0,
+            (1.0 - r.local_traffic) * 100.0,
+            r.relative_throughput(&baseline) * 100.0,
+            r.demoted(),
+            r.swap_outs(),
+        );
+    }
+
+    println!(
+        "\nThe paper's Figure 16a: default Linux loses ~14% because hot anon \
+         pages are trapped on the CXL node; TPP promotes them back and stays \
+         within ~0.5% of the all-local machine even though local DRAM covers \
+         only a fifth of the working set."
+    );
+}

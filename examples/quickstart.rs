@@ -1,0 +1,53 @@
+//! Quickstart: build a tiered machine, run a workload under TPP, and read
+//! the placement statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tiered_sim::{MINUTE, SEC};
+use tpp::experiment::PolicyChoice;
+use tpp::{configs, System};
+
+fn main() {
+    // A workload with a 4,000-page working set, half of it hot.
+    let profile = tiered_workloads::uniform(4_000);
+
+    // A machine whose local DRAM : CXL capacity is 2:1 — the paper's
+    // production target configuration.
+    let memory = configs::two_to_one(profile.working_set_pages());
+    println!(
+        "machine: {} local + {} CXL pages",
+        memory.capacity(tiered_mem::NodeId(0)),
+        memory.capacity(tiered_mem::NodeId(1)),
+    );
+
+    // Assemble and run the system for two simulated minutes under TPP.
+    let mut system = System::new(
+        memory,
+        PolicyChoice::Tpp.build(),
+        Box::new(profile.build()),
+        42,
+    )
+    .expect("TPP supports every machine shape");
+    system.run(2 * MINUTE);
+
+    // What happened?
+    let m = system.metrics();
+    println!("\nafter {:.0} simulated seconds:", system.now_ns() as f64 / SEC as f64);
+    println!("  ops completed        : {}", m.ops_completed);
+    println!("  accesses             : {}", m.accesses);
+    println!("  served from local    : {:.1}%", m.local_traffic_fraction() * 100.0);
+    println!("  avg access latency   : {:.0} ns", m.avg_access_latency_ns());
+
+    let vm = system.memory().vmstat();
+    println!("\nvmstat (TPP counters):");
+    println!("  pgdemote_anon        : {}", vm.get(tiered_mem::VmEvent::PgDemoteAnon));
+    println!("  pgdemote_file        : {}", vm.get(tiered_mem::VmEvent::PgDemoteFile));
+    println!("  pgpromote_success    : {}", vm.promoted_total());
+    println!("  promote success rate : {:.1}%", vm.promote_success_rate() * 100.0);
+    println!(
+        "  ping-pong candidates : {}",
+        vm.get(tiered_mem::VmEvent::PgPromoteCandidateDemoted)
+    );
+}

@@ -1,0 +1,26 @@
+//! # tpp-repro
+//!
+//! Umbrella crate for the reproduction of *TPP: Transparent Page
+//! Placement for CXL-Enabled Tiered Memory* (ASPLOS 2023). It re-exports
+//! the workspace crates so the examples and integration tests have a
+//! single dependency root:
+//!
+//! * [`tiered_mem`] — the page-granular memory substrate (frames, nodes,
+//!   watermarks, LRU lists, page tables, migration, swap, vmstat),
+//! * [`tiered_sim`] — the deterministic simulation engine,
+//! * [`tiered_workloads`] — calibrated synthetic datacenter workloads,
+//! * [`chameleon`] — the PEBS-style characterization profiler,
+//! * [`tpp`] — the placement policies, system runner, and experiment
+//!   harness.
+//!
+//! See the repository `README.md` for a tour and `examples/` for
+//! runnable entry points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use chameleon;
+pub use tiered_mem;
+pub use tiered_sim;
+pub use tiered_workloads;
+pub use tpp;

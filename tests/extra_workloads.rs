@@ -1,0 +1,74 @@
+//! The two beyond-the-paper workloads bracket the promotion-friendliness
+//! spectrum; these tests pin down the expected extremes.
+
+use tiered_sim::SEC;
+use tpp::configs;
+use tpp::experiment::{run_cell, PolicyChoice};
+
+const DURATION: u64 = 40 * SEC;
+
+#[test]
+fn kv_store_is_promotion_heaven() {
+    // Extremely skewed point lookups: once TPP pulls the Zipf head onto
+    // the local node, almost all traffic is local even at 1:4.
+    let profile = tiered_workloads::kv_store(5_000);
+    let ws = profile.working_set_pages();
+    let baseline = run_cell(
+        &profile,
+        configs::all_local(ws),
+        &PolicyChoice::Linux,
+        DURATION,
+        3,
+    )
+    .unwrap();
+    let linux = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Linux, DURATION, 3)
+        .unwrap();
+    let tpp = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Tpp, DURATION, 3)
+        .unwrap();
+    assert!(
+        tpp.local_traffic > linux.local_traffic + 0.2,
+        "tpp {:.3} vs linux {:.3}",
+        tpp.local_traffic,
+        linux.local_traffic
+    );
+    assert!(
+        tpp.relative_throughput(&baseline) > linux.relative_throughput(&baseline) + 0.03,
+        "tpp {:.3} vs linux {:.3}",
+        tpp.relative_throughput(&baseline),
+        linux.relative_throughput(&baseline)
+    );
+}
+
+#[test]
+fn batch_analytics_gains_little_from_promotion() {
+    // A fast scan front cools pages before a second touch: the active-LRU
+    // filter correctly withholds promotion, so TPP's promotion traffic is
+    // modest — and crucially it does not *hurt* relative to Linux.
+    let profile = tiered_workloads::batch_analytics(5_000);
+    let ws = profile.working_set_pages();
+    let baseline = run_cell(
+        &profile,
+        configs::all_local(ws),
+        &PolicyChoice::Linux,
+        DURATION,
+        3,
+    )
+    .unwrap();
+    let linux = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Linux, DURATION, 3)
+        .unwrap();
+    let tpp = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Tpp, DURATION, 3)
+        .unwrap();
+    let tpp_rel = tpp.relative_throughput(&baseline);
+    let linux_rel = linux.relative_throughput(&baseline);
+    assert!(
+        tpp_rel >= linux_rel - 0.02,
+        "TPP must not lose to Linux on scans: {tpp_rel:.3} vs {linux_rel:.3}"
+    );
+    // Promotions stay bounded: far fewer than the pages scanned.
+    let scanned = tpp.vmstat.get(tiered_mem::VmEvent::NumaHintFaults);
+    assert!(
+        tpp.promoted() < scanned,
+        "promotions {} should not exceed hint faults {scanned}",
+        tpp.promoted()
+    );
+}

@@ -1,0 +1,259 @@
+//! End-to-end integration tests asserting the paper's directional claims
+//! at a reduced scale. Exact magnitudes are checked by the `repro`
+//! binary; here we lock in the *shape*: who wins, what mechanism carries
+//! the win, and which failure modes appear where the paper says they do.
+
+use tiered_mem::VmEvent;
+use tiered_sim::SEC;
+use tpp::configs;
+use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
+use tpp::policy::TppConfig;
+
+const DURATION: u64 = 50 * SEC;
+const WS: u64 = 5_000;
+const SEED: u64 = 42;
+
+fn cache1_cell(choice: &PolicyChoice) -> ExperimentResult {
+    let profile = tiered_workloads::cache1(WS);
+    run_cell(
+        &profile,
+        configs::one_to_four(profile.working_set_pages()),
+        choice,
+        DURATION,
+        SEED,
+    )
+    .expect("policy supports 1:4")
+}
+
+fn cache1_baseline() -> ExperimentResult {
+    let profile = tiered_workloads::cache1(WS);
+    run_cell(
+        &profile,
+        configs::all_local(profile.working_set_pages()),
+        &PolicyChoice::Linux,
+        DURATION,
+        SEED,
+    )
+    .unwrap()
+}
+
+#[test]
+fn tpp_beats_default_linux_on_memory_expansion() {
+    // Paper Figure 16a: Cache1 on 1:4 loses ~14% under default Linux but
+    // stays within ~0.5% of all-local under TPP.
+    let baseline = cache1_baseline();
+    let linux = cache1_cell(&PolicyChoice::Linux);
+    let tpp = cache1_cell(&PolicyChoice::Tpp);
+
+    let linux_rel = linux.relative_throughput(&baseline);
+    let tpp_rel = tpp.relative_throughput(&baseline);
+    assert!(
+        tpp_rel > linux_rel + 0.05,
+        "TPP ({tpp_rel:.3}) must clearly beat Linux ({linux_rel:.3})"
+    );
+    assert!(tpp_rel > 0.95, "TPP should be near all-local, got {tpp_rel:.3}");
+    assert!(linux_rel < 0.93, "Linux should visibly suffer, got {linux_rel:.3}");
+    // Mechanism: TPP serves most traffic locally, Linux does not.
+    assert!(tpp.local_traffic > 0.80, "tpp local traffic {:.3}", tpp.local_traffic);
+    assert!(linux.local_traffic < 0.60, "linux local traffic {:.3}", linux.local_traffic);
+}
+
+#[test]
+fn tpp_demotes_by_migration_linux_reclaims_by_paging() {
+    // Paper §5.1: TPP replaces swap-based reclaim with migration.
+    let linux = cache1_cell(&PolicyChoice::Linux);
+    let tpp = cache1_cell(&PolicyChoice::Tpp);
+    assert!(tpp.demoted() > 100, "TPP demoted only {}", tpp.demoted());
+    assert_eq!(linux.demoted(), 0, "default Linux has no demotion path");
+    assert!(
+        linux.swap_outs() > tpp.swap_outs(),
+        "Linux must page out more than TPP ({} vs {})",
+        linux.swap_outs(),
+        tpp.swap_outs()
+    );
+    // TPP promotes trapped hot pages; Linux cannot promote at all.
+    assert!(tpp.promoted() > 100);
+    assert_eq!(linux.promoted(), 0);
+}
+
+#[test]
+fn numa_balancing_promotion_stalls_under_pressure() {
+    // Paper §4.2/Figure 19b: NUMA balancing stops promoting when the
+    // local node is low on free pages, trapping hot pages on CXL.
+    let nb = cache1_cell(&PolicyChoice::NumaBalancing);
+    let tpp = cache1_cell(&PolicyChoice::Tpp);
+    assert!(
+        nb.promoted() < tpp.promoted() / 5,
+        "NUMA balancing promoted {} vs TPP {}",
+        nb.promoted(),
+        tpp.promoted()
+    );
+    assert!(
+        nb.vmstat.get(VmEvent::PgPromoteFailLowMem) > 0,
+        "the low-memory promotion failure path never fired"
+    );
+    assert!(nb.local_traffic < tpp.local_traffic);
+}
+
+#[test]
+fn numa_balancing_wastes_hint_faults_on_local_pages() {
+    // Paper §5.3: sampling local nodes produces useless hint faults; TPP
+    // samples CXL nodes only.
+    let nb = cache1_cell(&PolicyChoice::NumaBalancing);
+    let tpp = cache1_cell(&PolicyChoice::Tpp);
+    assert!(nb.vmstat.get(VmEvent::NumaHintFaultsLocal) > 0);
+    assert_eq!(tpp.vmstat.get(VmEvent::NumaHintFaultsLocal), 0);
+}
+
+#[test]
+fn autotiering_cannot_run_one_to_four() {
+    // Paper §6.4: AutoTiering crashes on 1:4 configurations.
+    let profile = tiered_workloads::cache1(WS);
+    let err = run_cell(
+        &profile,
+        configs::one_to_four(profile.working_set_pages()),
+        &PolicyChoice::AutoTiering,
+        DURATION,
+        SEED,
+    )
+    .unwrap_err();
+    assert_eq!(err.policy, "autotiering");
+    // But 2:1 works.
+    run_cell(
+        &profile,
+        configs::two_to_one(profile.working_set_pages()),
+        &PolicyChoice::AutoTiering,
+        DURATION,
+        SEED,
+    )
+    .expect("AutoTiering supports 2:1");
+}
+
+#[test]
+fn decoupling_sustains_promotion() {
+    // Paper Figure 17: without the decoupled watermarks, promotion nearly
+    // halts because new allocations instantly consume freed pages.
+    let coupled = cache1_cell(&PolicyChoice::TppCustom(TppConfig {
+        decouple: false,
+        ..TppConfig::default()
+    }));
+    let decoupled = cache1_cell(&PolicyChoice::Tpp);
+    assert!(
+        decoupled.promoted() > coupled.promoted(),
+        "decoupled {} vs coupled {}",
+        decoupled.promoted(),
+        coupled.promoted()
+    );
+    assert!(decoupled.local_traffic >= coupled.local_traffic);
+}
+
+#[test]
+fn active_lru_filter_cuts_promotion_traffic_and_ping_pong() {
+    // Paper Figure 18 / §6.3: the filter reduces promotions severalfold
+    // and halves demoted-then-promoted pages, without hurting
+    // throughput.
+    let instant = cache1_cell(&PolicyChoice::TppCustom(TppConfig {
+        active_lru_filter: false,
+        ..TppConfig::default()
+    }));
+    let filtered = cache1_cell(&PolicyChoice::Tpp);
+    assert!(
+        (filtered.promoted() as f64) < instant.promoted() as f64 * 0.9,
+        "filter should cut promotions: {} vs {}",
+        filtered.promoted(),
+        instant.promoted()
+    );
+    assert!(
+        filtered.vmstat.get(VmEvent::PgPromoteCandidateDemoted)
+            <= instant.vmstat.get(VmEvent::PgPromoteCandidateDemoted),
+        "filter must not increase ping-pong"
+    );
+    let baseline = cache1_baseline();
+    let f_rel = filtered.relative_throughput(&baseline);
+    let i_rel = instant.relative_throughput(&baseline);
+    assert!(
+        f_rel >= i_rel - 0.02,
+        "filter must not cost throughput: {f_rel:.3} vs {i_rel:.3}"
+    );
+    // The skip-inactive path actually fires.
+    assert!(filtered.vmstat.get(VmEvent::PgPromoteSkipInactive) > 0);
+    assert_eq!(instant.vmstat.get(VmEvent::PgPromoteSkipInactive), 0);
+}
+
+#[test]
+fn page_type_aware_allocation_places_caches_on_cxl() {
+    // Paper §5.4/Table 1: with cache-to-CXL allocation, file pages start
+    // on the CXL node and the local node hosts the anons.
+    let profile = tiered_workloads::cache1(WS);
+    let aware = run_cell(
+        &profile,
+        configs::one_to_four(profile.working_set_pages()),
+        &PolicyChoice::TppCustom(TppConfig { cache_to_cxl: true, ..TppConfig::default() }),
+        DURATION,
+        SEED,
+    )
+    .unwrap();
+    let baseline = cache1_baseline();
+    assert!(
+        aware.file_resident_local < 0.5,
+        "most file pages should sit on CXL, local frac {:.3}",
+        aware.file_resident_local
+    );
+    assert!(
+        aware.anon_resident_local > aware.file_resident_local,
+        "anon should be preferentially local"
+    );
+    let rel = aware.relative_throughput(&baseline);
+    assert!(rel > 0.93, "page-type-aware TPP should stay near baseline, got {rel:.3}");
+}
+
+#[test]
+fn web_spills_anon_under_default_linux_on_two_to_one() {
+    // Paper §6.2.1 (Figure 15a): Web's file-heavy warm-up fills the local
+    // node; under default Linux a chunk of anon ends up trapped on CXL,
+    // while TPP keeps anon essentially local.
+    let profile = tiered_workloads::web(WS);
+    let machine = || configs::two_to_one(profile.working_set_pages());
+    let linux = run_cell(&profile, machine(), &PolicyChoice::Linux, DURATION, SEED).unwrap();
+    let tpp = run_cell(&profile, machine(), &PolicyChoice::Tpp, DURATION, SEED).unwrap();
+    // The anon surge is scale-dependent; at this reduced scale the robust
+    // claims are that TPP strictly improves anon residency and serves
+    // clearly more traffic locally (the full-scale gap is checked by the
+    // `repro fig15` run).
+    assert!(
+        tpp.anon_resident_local >= linux.anon_resident_local,
+        "TPP anon-local {:.3} vs Linux {:.3}",
+        tpp.anon_resident_local,
+        linux.anon_resident_local
+    );
+    assert!(
+        tpp.local_traffic > linux.local_traffic + 0.02,
+        "TPP local traffic {:.3} vs Linux {:.3}",
+        tpp.local_traffic,
+        linux.local_traffic
+    );
+}
+
+#[test]
+fn tpp_matches_all_local_on_uncontended_machines() {
+    // With ample local memory TPP must not regress anything.
+    let profile = tiered_workloads::uniform(2_000);
+    let baseline = run_cell(
+        &profile,
+        configs::all_local(profile.working_set_pages()),
+        &PolicyChoice::Linux,
+        20 * SEC,
+        SEED,
+    )
+    .unwrap();
+    let tpp = run_cell(
+        &profile,
+        configs::all_local(profile.working_set_pages()),
+        &PolicyChoice::Tpp,
+        20 * SEC,
+        SEED,
+    )
+    .unwrap();
+    let rel = tpp.relative_throughput(&baseline);
+    assert!((0.99..=1.01).contains(&rel), "got {rel:.4}");
+}

@@ -1,0 +1,131 @@
+//! Property-based tests at the policy level: no sequence of workload
+//! traffic, daemon activity, and machine shapes may ever violate the
+//! substrate invariants, OOM a sanely-sized machine, or break
+//! determinism — under *any* policy.
+
+use proptest::prelude::*;
+
+use tiered_sim::{SimRng, Workload, SEC};
+use tpp::configs;
+use tpp::experiment::PolicyChoice;
+use tpp::policy::TppConfig;
+use tpp::System;
+
+fn policy_strategy() -> impl Strategy<Value = PolicyChoice> {
+    prop_oneof![
+        Just(PolicyChoice::Linux),
+        Just(PolicyChoice::NumaBalancing),
+        Just(PolicyChoice::Tpp),
+        Just(PolicyChoice::InMemorySwap),
+        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(d, f, c)| {
+            PolicyChoice::TppCustom(TppConfig {
+                decouple: d,
+                active_lru_filter: f,
+                cache_to_cxl: c,
+                ..TppConfig::default()
+            })
+        }),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = u8> {
+    0..5u8
+}
+
+fn build_workload(which: u8, ws: u64) -> Box<dyn Workload> {
+    let profile = match which % 5 {
+        0 => tiered_workloads::uniform(ws),
+        1 => tiered_workloads::web(ws),
+        2 => tiered_workloads::cache1(ws),
+        3 => tiered_workloads::cache2(ws),
+        _ => tiered_workloads::data_warehouse(ws),
+    };
+    Box::new(profile.build())
+}
+
+fn workload_ws(which: u8, ws: u64) -> u64 {
+    match which % 5 {
+        0 => tiered_workloads::uniform(ws).working_set_pages(),
+        1 => tiered_workloads::web(ws).working_set_pages(),
+        2 => tiered_workloads::cache1(ws).working_set_pages(),
+        3 => tiered_workloads::cache2(ws).working_set_pages(),
+        _ => tiered_workloads::data_warehouse(ws).working_set_pages(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (policy × workload × ratio × seed) cell runs to completion with
+    /// all memory invariants intact.
+    #[test]
+    fn any_cell_preserves_invariants(
+        choice in policy_strategy(),
+        which in workload_strategy(),
+        ratio_cxl in 1u64..5,
+        seed in 0u64..1000,
+    ) {
+        let ws = 1_200;
+        let total_ws = workload_ws(which, ws);
+        let memory = configs::ratio(total_ws, 1, ratio_cxl);
+        let system = System::new(memory, choice.build(), build_workload(which, ws), seed);
+        let mut system = match system {
+            Ok(s) => s,
+            // AutoTiering-style rejections are legitimate outcomes.
+            Err(_) => return Ok(()),
+        };
+        system.run(4 * SEC);
+        system.memory().validate();
+        prop_assert!(system.metrics().ops_completed > 0);
+    }
+
+    /// Bit-level determinism holds for every policy and seed.
+    #[test]
+    fn any_cell_is_deterministic(
+        choice in policy_strategy(),
+        which in workload_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let ws = 1_000;
+        let total_ws = workload_ws(which, ws);
+        let fingerprint = || {
+            let memory = configs::two_to_one(total_ws);
+            let mut system =
+                System::new(memory, choice.build(), build_workload(which, ws), seed).unwrap();
+            system.run(2 * SEC);
+            (
+                system.metrics().ops_completed,
+                system.metrics().accesses,
+                system.memory().vmstat().to_string(),
+            )
+        };
+        prop_assert_eq!(fingerprint(), fingerprint());
+    }
+
+    /// The workload generators never emit accesses outside their declared
+    /// working set (VPN hygiene across all region/transient machinery).
+    #[test]
+    fn workloads_stay_inside_declared_footprint(
+        which in workload_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let ws = 1_000;
+        let mut workload = build_workload(which, ws);
+        let declared = workload.working_set_pages();
+        let mut rng = SimRng::seed(seed);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..3000u64 {
+            let op = workload.next_op(i * 2_000_000, &mut rng);
+            for e in &op.events {
+                if let tiered_sim::WorkloadEvent::Access(a) = e {
+                    distinct.insert(a.vpn);
+                }
+            }
+        }
+        prop_assert!(
+            (distinct.len() as u64) <= declared,
+            "{} distinct pages exceed declared {declared}",
+            distinct.len()
+        );
+    }
+}
