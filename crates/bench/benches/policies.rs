@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the policy hot paths: fault handling,
-//! demotion passes, promotion via hint faults, and hint-PTE scanning.
+//! Micro-benchmarks for the policy hot paths: fault handling, demotion
+//! passes, promotion via hint faults, and hint-PTE scanning. Runs with
+//! `harness = false` on the in-tree [`tpp_bench::microbench`] harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tpp_bench::microbench::{bench, bench_with_setup};
 
 use tiered_mem::{Memory, NodeId, NodeKind, PageType, Pid, Vpn};
 use tiered_sim::{LatencyModel, SimRng};
@@ -19,117 +20,122 @@ fn machine(local: u64, cxl: u64) -> Memory {
     m
 }
 
-fn bench_fault_path(c: &mut Criterion) {
+fn bench_fault_path() {
     let lat = LatencyModel::datacenter();
-    c.bench_function("policy/linux_fault_fastpath", |b| {
+    {
         let mut m = machine(1 << 16, 1 << 16);
         let mut rng = SimRng::seed(1);
         let mut policy = LinuxDefault::new();
         let mut vpn = 0u64;
-        b.iter(|| {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        bench("policy/linux_fault_fastpath", || {
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             let out = policy.handle_fault(&mut ctx, Pid(1), Vpn(vpn), PageType::Anon);
             std::hint::black_box(out.pfn);
             m.release(Pid(1), Vpn(vpn));
             vpn += 1;
         });
-    });
-    c.bench_function("policy/tpp_fault_fastpath", |b| {
+    }
+    {
         let mut m = machine(1 << 16, 1 << 16);
         let mut rng = SimRng::seed(1);
         let mut policy = Tpp::new();
         let mut vpn = 0u64;
-        b.iter(|| {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        bench("policy/tpp_fault_fastpath", || {
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             let out = policy.handle_fault(&mut ctx, Pid(1), Vpn(vpn), PageType::Anon);
             std::hint::black_box(out.pfn);
             m.release(Pid(1), Vpn(vpn));
             vpn += 1;
         });
-    });
+    }
 }
 
-fn bench_demotion_tick(c: &mut Criterion) {
+fn bench_demotion_tick() {
     let lat = LatencyModel::datacenter();
-    c.bench_function("policy/tpp_demotion_tick_under_pressure", |b| {
-        b.iter_batched(
-            || {
-                // Local node filled past the demotion trigger.
-                let mut m = machine(4096, 16384);
-                for i in 0..4000u64 {
-                    m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
-                }
-                (m, Tpp::new(), SimRng::seed(2))
-            },
-            |(mut m, mut policy, mut rng)| {
-                let mut ctx =
-                    PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
-                policy.tick(&mut ctx);
-                std::hint::black_box(m.vmstat().demoted_total());
-            },
-            BatchSize::LargeInput,
-        );
-    });
+    bench_with_setup(
+        "policy/tpp_demotion_tick_under_pressure",
+        || {
+            // Local node filled past the demotion trigger.
+            let mut m = machine(4096, 16384);
+            for i in 0..4000u64 {
+                m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                    .unwrap();
+            }
+            (m, Tpp::new(), SimRng::seed(2))
+        },
+        |(mut m, mut policy, mut rng)| {
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
+            policy.tick(&mut ctx);
+            std::hint::black_box(m.vmstat().demoted_total());
+        },
+    );
 }
 
-fn bench_promotion_hint_fault(c: &mut Criterion) {
+fn bench_promotion_hint_fault() {
     let lat = LatencyModel::datacenter();
-    c.bench_function("policy/tpp_promotion_hint_fault", |b| {
-        b.iter_batched(
-            || {
-                let mut m = machine(8192, 8192);
-                // Anon pages on the CXL node (start on the active list,
-                // so the filter lets them through).
-                let pfns: Vec<_> = (0..1024u64)
-                    .map(|i| {
-                        m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon).unwrap()
-                    })
-                    .collect();
-                (m, Tpp::new(), SimRng::seed(3), pfns)
-            },
-            |(mut m, mut policy, mut rng, pfns)| {
-                for pfn in pfns {
-                    let mut ctx =
-                        PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
-                    std::hint::black_box(policy.on_hint_fault(&mut ctx, pfn));
-                }
-            },
-            BatchSize::LargeInput,
-        );
+    bench_with_setup(
+        "policy/tpp_promotion_hint_fault",
+        || {
+            let mut m = machine(8192, 8192);
+            // Anon pages on the CXL node (start on the active list,
+            // so the filter lets them through).
+            let pfns: Vec<_> = (0..1024u64)
+                .map(|i| {
+                    m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon)
+                        .unwrap()
+                })
+                .collect();
+            (m, Tpp::new(), SimRng::seed(3), pfns)
+        },
+        |(mut m, mut policy, mut rng, pfns)| {
+            for pfn in pfns {
+                let mut ctx = PolicyCtx {
+                    memory: &mut m,
+                    latency: &lat,
+                    now_ns: 0,
+                    rng: &mut rng,
+                };
+                std::hint::black_box(policy.on_hint_fault(&mut ctx, pfn));
+            }
+        },
+    );
+}
+
+fn bench_sampler() {
+    let mut m = machine(1 << 15, 1 << 15);
+    for i in 0..16384u64 {
+        let node = if i % 2 == 0 { NodeId(0) } else { NodeId(1) };
+        m.alloc_and_map(node, Pid(1), Vpn(i), PageType::Anon)
+            .unwrap();
+    }
+    let mut sampler = HintSampler::new(SamplerConfig {
+        pages_per_scan: 4096,
+        period_ns: 1,
+        scope: SampleScope::CxlOnly,
+    });
+    bench("policy/hint_sampler_scan_16k_pages", || {
+        std::hint::black_box(sampler.scan(&mut m));
     });
 }
 
-fn bench_sampler(c: &mut Criterion) {
-    c.bench_function("policy/hint_sampler_scan_16k_pages", |b| {
-        let mut m = machine(1 << 15, 1 << 15);
-        for i in 0..16384u64 {
-            let node = if i % 2 == 0 { NodeId(0) } else { NodeId(1) };
-            m.alloc_and_map(node, Pid(1), Vpn(i), PageType::Anon).unwrap();
-        }
-        let mut sampler = HintSampler::new(SamplerConfig {
-            pages_per_scan: 4096,
-            period_ns: 1,
-            scope: SampleScope::CxlOnly,
-        });
-        b.iter(|| std::hint::black_box(sampler.scan(&mut m)));
-    });
+fn main() {
+    bench_fault_path();
+    bench_demotion_tick();
+    bench_promotion_hint_fault();
+    bench_sampler();
 }
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets =
-    bench_fault_path,
-    bench_demotion_tick,
-    bench_promotion_hint_fault,
-    bench_sampler,
-
-}
-criterion_main!(benches);

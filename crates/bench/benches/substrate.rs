@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the memory substrate: the operations
-//! every simulated second is made of.
+//! Micro-benchmarks for the memory substrate: the operations every
+//! simulated second is made of. Runs with `harness = false` on the
+//! in-tree [`tpp_bench::microbench`] harness (no external deps).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tpp_bench::microbench::{bench, bench_with_setup};
 
 use tiered_mem::{LruKind, Memory, NodeId, NodeKind, PageType, Pfn, Pid, Vpn};
 
@@ -17,118 +18,101 @@ fn populated(pages: u64) -> (Memory, Vec<Pfn>) {
     let mut m = machine(pages + 64, pages + 64);
     m.create_process(Pid(1));
     let pfns = (0..pages)
-        .map(|i| m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon).unwrap())
+        .map(|i| {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap()
+        })
         .collect();
     (m, pfns)
 }
 
-fn bench_alloc_free(c: &mut Criterion) {
-    c.bench_function("substrate/alloc_and_map+release", |b| {
-        let mut m = machine(4096, 4096);
-        m.create_process(Pid(1));
-        let mut vpn = 0u64;
-        b.iter(|| {
-            let v = Vpn(vpn % 2048);
-            vpn += 1;
-            let pfn = m.alloc_and_map(NodeId(0), Pid(1), v, PageType::Anon).unwrap();
-            std::hint::black_box(pfn);
-            m.release(Pid(1), v);
-        });
+fn bench_alloc_free() {
+    let mut m = machine(4096, 4096);
+    m.create_process(Pid(1));
+    let mut vpn = 0u64;
+    bench("substrate/alloc_and_map+release", || {
+        let v = Vpn(vpn % 2048);
+        vpn += 1;
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), v, PageType::Anon)
+            .unwrap();
+        std::hint::black_box(pfn);
+        m.release(Pid(1), v);
     });
 }
 
-fn bench_lru_rotate(c: &mut Criterion) {
-    c.bench_function("substrate/lru_move_to_front", |b| {
+fn bench_lru_rotate() {
+    {
         let (mut m, pfns) = populated(4096);
         let mut i = 0usize;
-        b.iter(|| {
+        bench("substrate/lru_move_to_front", || {
             m.rotate_page(pfns[i % pfns.len()]);
             i += 1;
         });
-    });
-    c.bench_function("substrate/lru_activate_deactivate", |b| {
+    }
+    {
         let (mut m, pfns) = populated(4096);
         let mut i = 0usize;
-        b.iter(|| {
+        bench("substrate/lru_activate_deactivate", || {
             let pfn = pfns[i % pfns.len()];
             m.deactivate_page(pfn);
             m.activate_page(pfn);
             i += 1;
         });
+    }
+}
+
+fn bench_migration() {
+    let (mut m, _) = populated(1024);
+    let mut i = 0usize;
+    bench("substrate/migrate_page_round_trip", || {
+        let pfn = m
+            .space(Pid(1))
+            .translate(Vpn((i % 1024) as u64))
+            .unwrap()
+            .pfn()
+            .unwrap();
+        let moved = m.migrate_page(pfn, NodeId(1)).unwrap();
+        let back = m.migrate_page(moved, NodeId(0)).unwrap();
+        std::hint::black_box(back);
+        i += 1;
     });
 }
 
-fn bench_migration(c: &mut Criterion) {
-    c.bench_function("substrate/migrate_page_round_trip", |b| {
-        let (mut m, pfns) = populated(1024);
-        let mut i = 0usize;
-        b.iter(|| {
-            let pfn = m
-                .space(Pid(1))
-                .translate(Vpn((i % 1024) as u64))
-                .unwrap()
-                .pfn()
-                .unwrap();
-            let moved = m.migrate_page(pfn, NodeId(1)).unwrap();
-            let back = m.migrate_page(moved, NodeId(0)).unwrap();
-            std::hint::black_box(back);
-            i += 1;
-        });
+fn bench_swap() {
+    let (mut m, _) = populated(1024);
+    let mut i = 0usize;
+    bench("substrate/swap_out_in_round_trip", || {
+        let v = Vpn((i % 1024) as u64);
+        let pfn = m.space(Pid(1)).translate(v).unwrap().pfn().unwrap();
+        m.swap_out(pfn).unwrap();
+        let back = m.swap_in(Pid(1), v, NodeId(0), PageType::Anon).unwrap();
+        std::hint::black_box(back);
+        i += 1;
     });
 }
 
-fn bench_swap(c: &mut Criterion) {
-    c.bench_function("substrate/swap_out_in_round_trip", |b| {
-        let (mut m, _) = populated(1024);
-        let mut i = 0usize;
-        b.iter(|| {
-            let v = Vpn((i % 1024) as u64);
-            let pfn = m.space(Pid(1)).translate(v).unwrap().pfn().unwrap();
-            m.swap_out(pfn).unwrap();
-            let back = m.swap_in(Pid(1), v, NodeId(0), PageType::Anon).unwrap();
-            std::hint::black_box(back);
-            i += 1;
-        });
+fn bench_tail_window() {
+    let (m, _) = populated(8192);
+    bench("substrate/lru_tail_window_64", || {
+        let w = m
+            .node(NodeId(0))
+            .lru
+            .tail_window(m.frames(), LruKind::AnonActive, 64);
+        std::hint::black_box(w.len());
     });
 }
 
-fn bench_tail_window(c: &mut Criterion) {
-    c.bench_function("substrate/lru_tail_window_64", |b| {
-        let (m, _) = populated(8192);
-        b.iter(|| {
-            let w = m
-                .node(NodeId(0))
-                .lru
-                .tail_window(m.frames(), LruKind::AnonActive, 64);
-            std::hint::black_box(w.len());
-        });
-    });
+fn bench_validate() {
+    let (m, _) = populated(8192);
+    bench_with_setup("substrate/full_validate_8k_pages", || (), |_| m.validate());
 }
 
-fn bench_validate(c: &mut Criterion) {
-    c.bench_function("substrate/full_validate_8k_pages", |b| {
-        let (m, _) = populated(8192);
-        b.iter_batched(|| (), |_| m.validate(), BatchSize::SmallInput);
-    });
+fn main() {
+    bench_alloc_free();
+    bench_lru_rotate();
+    bench_migration();
+    bench_swap();
+    bench_tail_window();
+    bench_validate();
 }
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets =
-    bench_alloc_free,
-    bench_lru_rotate,
-    bench_migration,
-    bench_swap,
-    bench_tail_window,
-    bench_validate,
-
-}
-criterion_main!(benches);

@@ -3,50 +3,110 @@
 //! ```text
 //! cargo run --release -p tpp-bench --bin repro -- all
 //! cargo run --release -p tpp-bench --bin repro -- fig15 [--quick]
+//! cargo run --release -p tpp-bench --bin repro -- --trace /tmp/t.jsonl
 //! ```
+//!
+//! Tables are exported as CSV into `results/` (override with `--csv
+//! <dir>`). At standard scale, produced tables are compared against the
+//! checked-in snapshots in `crates/bench/expected/`; the run exits
+//! non-zero if any figure deviates beyond tolerance.
+//!
+//! `--trace <path>` appends a dedicated instrumented run (cache1 on the
+//! 1:4 machine under TPP) that streams every kernel-style event to
+//! `<path>` as JSONL, prints the counter-parity table, the per-policy
+//! decision summary and the §5.5 ping-pong report, and exits non-zero if
+//! the trace disagrees with the vmstat counters. `--metrics-dir <path>`
+//! additionally exports that run's metrics (CSV/JSON). Figure targets
+//! always run untraced, so their numbers are unchanged by `--trace`.
+
+use std::path::PathBuf;
 
 use tpp_bench::charfig;
 use tpp_bench::evalfig;
 use tpp_bench::sweeps;
 use tpp_bench::Scale;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        match args.get(i + 1) {
-            Some(dir) => tpp_bench::scale::set_csv_dir(dir),
+struct Args {
+    quick: bool,
+    csv_dir: PathBuf,
+    trace: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        quick: false,
+        csv_dir: PathBuf::from("results"),
+        trace: None,
+        metrics_dir: None,
+        targets: Vec::new(),
+    };
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| match it.next() {
+            Some(v) => v,
             None => {
-                eprintln!("--csv requires a directory argument");
+                eprintln!("{flag} requires an argument");
                 std::process::exit(2);
             }
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--csv" => args.csv_dir = PathBuf::from(value_of("--csv")),
+            "--trace" => args.trace = Some(PathBuf::from(value_of("--trace"))),
+            "--metrics-dir" => args.metrics_dir = Some(PathBuf::from(value_of("--metrics-dir"))),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("flags: --quick --csv <dir> --trace <path> --metrics-dir <dir>");
+                std::process::exit(2);
+            }
+            target => args.targets.push(target.to_string()),
         }
     }
-    let scale = if quick { Scale::quick() } else { Scale::standard() };
-    let mut skip_next = false;
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--csv" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .map(|s| s.as_str())
-        .collect();
-    let targets = if targets.is_empty() || targets.contains(&"all") {
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.quick {
+        Scale::quick()
+    } else {
+        Scale::standard()
+    };
+    tpp_bench::scale::set_csv_dir(&args.csv_dir);
+
+    // A bare `--trace`/`--metrics-dir` invocation asks only for the
+    // instrumented capture run; figure targets still default to `all`
+    // when named explicitly or when no telemetry flag is present.
+    let capture_only =
+        args.targets.is_empty() && (args.trace.is_some() || args.metrics_dir.is_some());
+    let targets: Vec<&str> = if capture_only {
+        Vec::new()
+    } else if args.targets.is_empty() || args.targets.iter().any(|t| t == "all") {
         vec![
-            "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig15", "fig16", "fig17",
-            "fig18", "table1", "fig19", "reclaim_rate", "zswap", "colocation", "sweep_dsf",
-            "sweep_latency", "sweep_ratio",
+            "fig2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "table1",
+            "fig19",
+            "reclaim_rate",
+            "zswap",
+            "colocation",
+            "sweep_dsf",
+            "sweep_latency",
+            "sweep_ratio",
         ]
     } else {
-        targets
+        args.targets.iter().map(|s| s.as_str()).collect()
     };
 
     let needs_characterization = targets
@@ -59,9 +119,9 @@ fn main() {
         Vec::new()
     };
 
-    for target in targets {
+    for target in &targets {
         eprintln!("running {target}...");
-        match target {
+        match *target {
             "fig2" => {
                 charfig::fig2();
             }
@@ -125,5 +185,57 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    let mut failed = false;
+
+    // Regression gate: at standard scale the simulator is deterministic,
+    // so produced tables must match the checked-in snapshots.
+    if !args.quick && !targets.is_empty() {
+        let expected = tpp_bench::tolerance::expected_dir();
+        let (checked, deviations) = tpp_bench::tolerance::check_results(&args.csv_dir, &expected);
+        if deviations.is_empty() {
+            eprintln!("tolerance check: {checked} table(s) match the expected snapshots");
+        } else {
+            eprintln!("tolerance check FAILED ({checked} table(s) checked):");
+            for d in &deviations {
+                eprintln!("  {d}");
+            }
+            failed = true;
+        }
+    }
+
+    if args.trace.is_some() || args.metrics_dir.is_some() {
+        eprintln!("running instrumented capture (cache1, 1:4, tpp)...");
+        match tpp_bench::capture::capture_run(
+            &scale,
+            args.trace.as_deref(),
+            args.metrics_dir.as_deref(),
+        ) {
+            Ok(outcome) => {
+                if let Some(path) = &args.trace {
+                    eprintln!(
+                        "trace: {} events written to {}",
+                        outcome.jsonl_lines,
+                        path.display()
+                    );
+                }
+                if !outcome.parity_mismatches.is_empty() {
+                    eprintln!("trace parity FAILED:");
+                    for m in &outcome.parity_mismatches {
+                        eprintln!("  {m}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("capture run failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
     }
 }

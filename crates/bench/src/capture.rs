@@ -1,0 +1,163 @@
+//! The `repro --trace` capture run: one instrumented TPP run whose full
+//! event stream is recorded, checked for counter parity, diagnosed for
+//! ping-pong churn, and exported in machine-readable form.
+//!
+//! The figure targets themselves always run with tracing disabled
+//! (`NullSink`), so their numbers are bit-identical whether or not a
+//! capture is requested; the capture is a separate, dedicated run.
+
+use std::path::Path;
+
+use chameleon::TraceSection;
+use tiered_mem::telemetry::{
+    replay_counters, RingSink, TeeSink, TraceRecord, WriterSink, TRACED_COUNTERS,
+};
+use tiered_mem::VmStat;
+use tiered_sim::SEC;
+use tpp::metrics::{decision_summary, ping_pong_report, vmstat_csv, PingPongReport};
+use tpp::policy::Tpp;
+use tpp::{configs, System};
+
+use crate::scale::{print_table, Scale};
+
+/// Everything the capture run produced.
+pub struct CaptureOutcome {
+    /// The full event stream (from the in-process ring).
+    pub records: Vec<TraceRecord>,
+    /// Final vmstat counters of the captured run.
+    pub vmstat: VmStat,
+    /// JSONL lines written to the `--trace` file (0 when not requested).
+    pub jsonl_lines: u64,
+    /// Counters where the replayed trace disagrees with vmstat (must be
+    /// empty: `Memory::record` bumps both from one call).
+    pub parity_mismatches: Vec<String>,
+    /// The §5.5 ping-pong diagnosis for the captured run.
+    pub ping_pong: PingPongReport,
+}
+
+/// Runs the dedicated capture workload (cache1 on the 1:4 machine under
+/// TPP), streaming events to `trace_path` (JSONL, when given) and an
+/// in-process ring, then prints the parity table, the decision summary,
+/// the ping-pong report and the Chameleon trace section. Exports the
+/// run's metrics into `metrics_dir` when given.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the trace file or metrics exports.
+pub fn capture_run(
+    scale: &Scale,
+    trace_path: Option<&Path>,
+    metrics_dir: Option<&Path>,
+) -> std::io::Result<CaptureOutcome> {
+    let profile = tiered_workloads::cache1(scale.ws_pages);
+    let workload = profile.build();
+    let memory = configs::one_to_four(profile.working_set_pages());
+    let mut system = System::new(memory, Box::new(Tpp::new()), Box::new(workload), scale.seed)
+        .expect("tpp supports the 1:4 machine");
+
+    let ring = RingSink::unbounded();
+    let mut tee = TeeSink::new().with(Box::new(ring.clone()));
+    if let Some(path) = trace_path {
+        tee = tee.with(Box::new(WriterSink::to_file(path)?));
+    }
+    system.set_event_sink(Box::new(tee));
+    // The capture run is a diagnosis run, not a figure run: a bounded
+    // duration keeps the unbounded ring small while still exercising
+    // every event class (faults, promotion, demotion, reclaim).
+    system.run(scale.duration_ns.min(30 * SEC));
+    system.flush_trace();
+
+    let records = ring.snapshot();
+    let vmstat = system.memory().vmstat().clone();
+    let replayed = replay_counters(&records);
+    let mut parity_mismatches = Vec::new();
+    let rows: Vec<Vec<String>> = TRACED_COUNTERS
+        .iter()
+        .map(|&e| {
+            let counted = vmstat.get(e);
+            let traced = replayed.get(e);
+            if counted != traced {
+                parity_mismatches.push(format!("{}: vmstat {counted} vs trace {traced}", e.name()));
+            }
+            vec![
+                e.name().to_string(),
+                counted.to_string(),
+                traced.to_string(),
+                if counted == traced { "ok" } else { "MISMATCH" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Trace parity — vmstat counters vs replayed trace events",
+        &["counter", "vmstat", "trace", "status"],
+        &rows,
+    );
+
+    let summaries = decision_summary(&records);
+    let decision_rows: Vec<Vec<String>> = summaries
+        .iter()
+        .flat_map(|s| {
+            s.reasons
+                .iter()
+                .map(|(reason, count)| vec![s.policy.clone(), reason.clone(), count.to_string()])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    print_table(
+        "Policy decisions (from trace)",
+        &["policy", "reason", "count"],
+        &decision_rows,
+    );
+
+    let ping_pong = ping_pong_report(&records);
+    print_table(
+        "Ping-pong report (paper §5.5)",
+        &[
+            "promotions",
+            "demotions",
+            "candidates",
+            "candidate_demoted",
+            "round_trips",
+            "thrashing",
+        ],
+        &[vec![
+            ping_pong.promotions.to_string(),
+            ping_pong.demotions.to_string(),
+            ping_pong.promote_candidates.to_string(),
+            ping_pong.candidates_recently_demoted.to_string(),
+            ping_pong.round_trips.to_string(),
+            ping_pong.is_thrashing().to_string(),
+        ]],
+    );
+
+    println!("\n{}", TraceSection::from_records(&profile.name, &records));
+
+    if let Some(dir) = metrics_dir {
+        std::fs::create_dir_all(dir)?;
+        system.metrics().write_exports(dir, "capture_cache1_tpp")?;
+        std::fs::write(
+            dir.join("capture_cache1_tpp_vmstat.csv"),
+            vmstat_csv(&vmstat),
+        )?;
+        let mut pp = ping_pong.to_json();
+        pp.push('\n');
+        std::fs::write(dir.join("capture_cache1_tpp_ping_pong.json"), pp)?;
+        eprintln!("metrics exported to {}", dir.display());
+    }
+
+    // One JSONL line per record: the writer and the ring are fed from the
+    // same tee, so the file holds exactly the ring's contents.
+    let jsonl_lines = if trace_path.is_some() {
+        records.len() as u64
+    } else {
+        0
+    };
+
+    Ok(CaptureOutcome {
+        records,
+        vmstat,
+        jsonl_lines,
+        parity_mismatches,
+        ping_pong,
+    })
+}

@@ -62,8 +62,7 @@ pub fn characterize_all(scale: &Scale) -> Vec<Characterization> {
             });
             system.run_observed(scale.profile_duration_ns, &mut profiler);
             profiler.flush_interval(system.now_ns());
-            let (resident_anon, resident_file) =
-                system.memory().node_usage(tiered_mem::NodeId(0));
+            let (resident_anon, resident_file) = system.memory().node_usage(tiered_mem::NodeId(0));
             Characterization {
                 name: profile.name.clone(),
                 profiler,
@@ -137,7 +136,12 @@ pub fn fig7(chars: &[Characterization]) -> Vec<Vec<String>> {
         .collect();
     print_table(
         "Figure 7 — pages accessed within short windows (1 interval ~ 1 paper-minute)",
-        &["workload", "resident pages", "hot (1 interval)", "hot (2 intervals)"],
+        &[
+            "workload",
+            "resident pages",
+            "hot (1 interval)",
+            "hot (2 intervals)",
+        ],
         &rows,
     );
     rows
@@ -188,7 +192,13 @@ pub fn fig9(chars: &[Characterization]) -> Vec<Vec<String>> {
     }
     print_table(
         "Figure 9 — page-type usage over time",
-        &["workload", "t (s)", "anon share", "file share", "resident pages"],
+        &[
+            "workload",
+            "t (s)",
+            "anon share",
+            "file share",
+            "resident pages",
+        ],
         &rows,
     );
     rows
@@ -220,7 +230,13 @@ pub fn fig10(chars: &[Characterization]) -> Vec<Vec<String>> {
     }
     print_table(
         "Figure 10 — throughput vs page-type utilisation",
-        &["workload", "t (s)", "anon pages", "file pages", "throughput (of max)"],
+        &[
+            "workload",
+            "t (s)",
+            "anon pages",
+            "file pages",
+            "throughput (of max)",
+        ],
         &rows,
     );
     rows
@@ -233,11 +249,7 @@ pub fn fig11(chars: &[Characterization]) -> Vec<Vec<String>> {
     for c in chars {
         let cdf = c.profiler.reaccess_cdf();
         for (gap, frac) in cdf.iter().enumerate().take(10) {
-            rows.push(vec![
-                c.name.clone(),
-                format!("{}", gap + 1),
-                pct(*frac),
-            ]);
+            rows.push(vec![c.name.clone(), format!("{}", gap + 1), pct(*frac)]);
         }
     }
     print_table(

@@ -6,8 +6,8 @@
 use tiered_mem::{Memory, VmEvent};
 use tiered_sim::SEC;
 use tiered_workloads::WorkloadProfile;
-use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
 use tpp::configs;
+use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
 use tpp::policy::TppConfig;
 
 use crate::scale::{pct, print_table, Scale};
@@ -48,7 +48,11 @@ fn compare(
                 .expect("policy was pre-validated for this machine")
         })
         .collect();
-    Comparison { workload: profile.name.clone(), baseline, cells }
+    Comparison {
+        workload: profile.name.clone(),
+        baseline,
+        cells,
+    }
 }
 
 fn traffic_perf_rows(comparisons: &[Comparison]) -> Vec<Vec<String>> {
@@ -56,8 +60,8 @@ fn traffic_perf_rows(comparisons: &[Comparison]) -> Vec<Vec<String>> {
     for c in comparisons {
         for r in &c.cells {
             let demote_rate = r.demoted() as f64 / (r.duration_ns as f64 / SEC as f64);
-            let reclaim_rate = r.vmstat.get(VmEvent::PgSteal) as f64
-                / (r.duration_ns as f64 / SEC as f64);
+            let reclaim_rate =
+                r.vmstat.get(VmEvent::PgSteal) as f64 / (r.duration_ns as f64 / SEC as f64);
             rows.push(vec![
                 c.workload.clone(),
                 r.policy.clone(),
@@ -137,7 +141,10 @@ pub fn fig16(scale: &Scale) -> Vec<Comparison> {
 /// 1:4).
 pub fn fig17(scale: &Scale) -> Vec<Comparison> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
-    let coupled = TppConfig { decouple: false, ..TppConfig::default() };
+    let coupled = TppConfig {
+        decouple: false,
+        ..TppConfig::default()
+    };
     let comparison = compare(
         &profile,
         || configs::one_to_four(profile.working_set_pages()),
@@ -145,7 +152,10 @@ pub fn fig17(scale: &Scale) -> Vec<Comparison> {
         scale,
     );
     let mut rows = Vec::new();
-    for (label, r) in [("coupled", &comparison.cells[0]), ("decoupled", &comparison.cells[1])] {
+    for (label, r) in [
+        ("coupled", &comparison.cells[0]),
+        ("decoupled", &comparison.cells[1]),
+    ] {
         let alloc_p95 = r.metrics.alloc_local_rate.percentile(0.95).unwrap_or(0.0);
         let promo_mean = r.metrics.promotion_rate.mean().unwrap_or(0.0);
         let promo_p99 = r.metrics.promotion_rate.percentile(0.99).unwrap_or(0.0);
@@ -176,7 +186,10 @@ pub fn fig17(scale: &Scale) -> Vec<Comparison> {
 /// Figure 18: ablation of the active-LRU promotion filter (Cache1, 1:4).
 pub fn fig18(scale: &Scale) -> Vec<Comparison> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
-    let instant = TppConfig { active_lru_filter: false, ..TppConfig::default() };
+    let instant = TppConfig {
+        active_lru_filter: false,
+        ..TppConfig::default()
+    };
     let comparison = compare(
         &profile,
         || configs::one_to_four(profile.working_set_pages()),
@@ -216,11 +229,27 @@ pub fn fig18(scale: &Scale) -> Vec<Comparison> {
 
 /// Table 1: page-type-aware allocation (caches to CXL).
 pub fn table1(scale: &Scale) -> Vec<Comparison> {
-    let aware = TppConfig { cache_to_cxl: true, ..TppConfig::default() };
-    let cells: Vec<(WorkloadProfile, &str, fn(u64) -> Memory)> = vec![
-        (tiered_workloads::web(scale.ws_pages), "2:1", configs::two_to_one),
-        (tiered_workloads::cache1(scale.ws_pages), "1:4", configs::one_to_four),
-        (tiered_workloads::cache2(scale.ws_pages), "1:4", configs::one_to_four),
+    let aware = TppConfig {
+        cache_to_cxl: true,
+        ..TppConfig::default()
+    };
+    type Cell = (WorkloadProfile, &'static str, fn(u64) -> Memory);
+    let cells: Vec<Cell> = vec![
+        (
+            tiered_workloads::web(scale.ws_pages),
+            "2:1",
+            configs::two_to_one,
+        ),
+        (
+            tiered_workloads::cache1(scale.ws_pages),
+            "1:4",
+            configs::one_to_four,
+        ),
+        (
+            tiered_workloads::cache2(scale.ws_pages),
+            "1:4",
+            configs::one_to_four,
+        ),
     ];
     let mut rows = Vec::new();
     let mut out = Vec::new();
@@ -243,7 +272,13 @@ pub fn table1(scale: &Scale) -> Vec<Comparison> {
     }
     print_table(
         "Table 1 — page-type-aware allocation (caches to CXL)",
-        &["application", "configuration", "local traffic", "CXL traffic", "perf w.r.t baseline"],
+        &[
+            "application",
+            "configuration",
+            "local traffic",
+            "CXL traffic",
+            "perf w.r.t baseline",
+        ],
         &rows,
     );
     out
@@ -341,7 +376,11 @@ mod tests {
     // `repro` binary at quick scale; here we only check plumbing.
     #[test]
     fn traffic_rows_shape() {
-        let scale = Scale { duration_ns: 2 * SEC, ws_pages: 1500, ..Scale::quick() };
+        let scale = Scale {
+            duration_ns: 2 * SEC,
+            ws_pages: 1500,
+            ..Scale::quick()
+        };
         let profile = tiered_workloads::uniform(scale.ws_pages);
         let cmp = compare(
             &profile,

@@ -2,14 +2,17 @@
 //!
 //! The benchmark harness of the TPP reproduction: one function per table
 //! and figure in the paper's evaluation, shared by the `repro` binary,
-//! the integration tests, and the Criterion micro-benchmarks.
+//! the integration tests, and the micro-benchmarks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod charfig;
 pub mod evalfig;
+pub mod microbench;
 pub mod scale;
 pub mod sweeps;
+pub mod tolerance;
 
 pub use scale::Scale;

@@ -47,8 +47,14 @@ pub fn sweep_demote_scale(scale: &Scale) -> Vec<Vec<String>> {
             .swap_pages(ws * 4)
             .demote_scale_bp(bp);
         let memory = builder.build();
-        let r = run_cell(&profile, memory, &PolicyChoice::Tpp, scale.duration_ns, scale.seed)
-            .expect("tpp supports all machines");
+        let r = run_cell(
+            &profile,
+            memory,
+            &PolicyChoice::Tpp,
+            scale.duration_ns,
+            scale.seed,
+        )
+        .expect("tpp supports all machines");
         rows.push(vec![
             format!("{:.2}%", bp as f64 / 100.0),
             pct(r.local_traffic),
@@ -106,7 +112,12 @@ pub fn sweep_cxl_latency(scale: &Scale) -> Vec<Vec<String>> {
     }
     print_table(
         "Sweep — CXL latency sensitivity (Cache1, 1:4)",
-        &["CXL device", "policy", "local traffic", "throughput vs all-local"],
+        &[
+            "CXL device",
+            "policy",
+            "local traffic",
+            "throughput vs all-local",
+        ],
         &rows,
     );
     rows
@@ -139,7 +150,12 @@ pub fn sweep_ratio(scale: &Scale) -> Vec<Vec<String>> {
     }
     print_table(
         "Sweep — local:CXL capacity ratio (Cache1)",
-        &["ratio", "policy", "local traffic", "throughput vs all-local"],
+        &[
+            "ratio",
+            "policy",
+            "local traffic",
+            "throughput vs all-local",
+        ],
         &rows,
     );
     rows
@@ -254,7 +270,13 @@ pub fn colocation(scale: &Scale) -> Vec<Vec<String>> {
     }
     print_table(
         "Extra — co-located cache1 + data_warehouse on one 2:1 machine",
-        &["policy", "workload", "ops/s", "local traffic", "p99 op latency (µs)"],
+        &[
+            "policy",
+            "workload",
+            "ops/s",
+            "local traffic",
+            "p99 op latency (µs)",
+        ],
         &rows,
     );
     rows
@@ -281,7 +303,8 @@ pub fn reclaim_rate_comparison(_scale: &Scale) -> Vec<Vec<String>> {
         // Fill local with cold tmpfs pages (must swap under the default
         // kernel; migratable under TPP).
         for i in 0..39_980u64 {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Tmpfs).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Tmpfs)
+                .unwrap();
         }
         m
     };
@@ -323,7 +346,11 @@ pub fn reclaim_rate_comparison(_scale: &Scale) -> Vec<Vec<String>> {
             format!("{}", m.vmstat().demoted_total()),
         ]);
     }
-    let ratio = if rates[0] > 0.0 { rates[1] / rates[0] } else { f64::INFINITY };
+    let ratio = if rates[0] > 0.0 {
+        rates[1] / rates[0]
+    } else {
+        f64::INFINITY
+    };
     rows.push(vec![
         "tpp / linux".to_string(),
         format!("{ratio:.0}x"),

@@ -81,9 +81,15 @@ impl Collector {
     /// Panics if any config field is zero or `core_groups > cores`.
     pub fn new(config: CollectorConfig) -> Collector {
         assert!(config.sample_period > 0, "sample_period must be positive");
-        assert!(config.cores > 0 && config.core_groups > 0, "need cores and groups");
+        assert!(
+            config.cores > 0 && config.core_groups > 0,
+            "need cores and groups"
+        );
         assert!(config.core_groups <= config.cores, "more groups than cores");
-        assert!(config.mini_interval_ns > 0, "mini_interval must be positive");
+        assert!(
+            config.mini_interval_ns > 0,
+            "mini_interval must be positive"
+        );
         Collector {
             config,
             event_counter: 0,
@@ -112,7 +118,7 @@ impl Collector {
     pub fn observe(&mut self, now_ns: u64, access: &Access) {
         self.event_counter += 1;
         // PMU overflow: every Nth event produces a PEBS record.
-        if self.event_counter % self.config.sample_period != 0 {
+        if !self.event_counter.is_multiple_of(self.config.sample_period) {
             return;
         }
         // Duty cycling: the event fires on some core; only the currently
@@ -158,11 +164,21 @@ mod tests {
     use tiered_mem::{Pid, Vpn};
 
     fn access(vpn: u64, kind: AccessKind) -> Access {
-        Access { pid: Pid(1), vpn: Vpn(vpn), kind, page_type: PageType::Anon }
+        Access {
+            pid: Pid(1),
+            vpn: Vpn(vpn),
+            kind,
+            page_type: PageType::Anon,
+        }
     }
 
     fn always_on() -> CollectorConfig {
-        CollectorConfig { sample_period: 1, cores: 4, core_groups: 1, mini_interval_ns: SEC }
+        CollectorConfig {
+            sample_period: 1,
+            cores: 4,
+            core_groups: 1,
+            mini_interval_ns: SEC,
+        }
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl Chameleon {
         self.interval.reset(now_ns);
         let table = self.collector.take_interval();
         self.worker.process_interval(table);
-        for (i, c) in self.worker.reaccess_histogram(self.config.max_gap_intervals)
+        for (i, c) in self
+            .worker
+            .reaccess_histogram(self.config.max_gap_intervals)
             .into_iter()
             .enumerate()
         {
@@ -148,7 +150,12 @@ mod tests {
     }
 
     fn touch(c: &mut Chameleon, now: u64, vpn: u64, t: PageType) {
-        let a = Access { pid: Pid(1), vpn: Vpn(vpn), kind: AccessKind::Load, page_type: t };
+        let a = Access {
+            pid: Pid(1),
+            vpn: Vpn(vpn),
+            kind: AccessKind::Load,
+            page_type: t,
+        };
         c.on_access(now, &a, NodeId(0));
     }
 

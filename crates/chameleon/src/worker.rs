@@ -92,8 +92,15 @@ impl Worker {
     ///
     /// Panics if `bits` is outside `1..=8`.
     pub fn with_bits(bits: u32) -> Worker {
-        assert!((1..=8).contains(&bits), "bits_per_interval {bits} out of 1..=8");
-        Worker { pages: HashMap::new(), intervals: 0, bits_per_interval: bits }
+        assert!(
+            (1..=8).contains(&bits),
+            "bits_per_interval {bits} out of 1..=8"
+        );
+        Worker {
+            pages: HashMap::new(),
+            intervals: 0,
+            bits_per_interval: bits,
+        }
     }
 
     /// Bits of history consumed per interval.
@@ -261,7 +268,12 @@ mod tests {
             .map(|&(v, t)| {
                 (
                     key(v),
-                    PageSamples { loads: 1, stores: 0, page_type: Some(t), last_ns: 0 },
+                    PageSamples {
+                        loads: 1,
+                        stores: 0,
+                        page_type: Some(t),
+                        last_ns: 0,
+                    },
                 )
             })
             .collect()
@@ -354,7 +366,12 @@ mod tests {
         let mut s = HashMap::new();
         s.insert(
             key(1),
-            PageSamples { loads: 9, stores: 2, page_type: Some(PageType::Anon), last_ns: 0 },
+            PageSamples {
+                loads: 9,
+                stores: 2,
+                page_type: Some(PageType::Anon),
+                last_ns: 0,
+            },
         );
         w.process_interval(s);
         assert_eq!(w.last_interval_frequency(key(1)), 11);
@@ -362,7 +379,12 @@ mod tests {
         let mut s = HashMap::new();
         s.insert(
             key(1),
-            PageSamples { loads: 99, stores: 0, page_type: Some(PageType::Anon), last_ns: 0 },
+            PageSamples {
+                loads: 99,
+                stores: 0,
+                page_type: Some(PageType::Anon),
+                last_ns: 0,
+            },
         );
         w.process_interval(s);
         assert_eq!(w.last_interval_frequency(key(1)), 15);

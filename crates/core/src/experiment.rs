@@ -127,12 +127,7 @@ pub fn run_cell(
 }
 
 /// Reduces a finished system run to an [`ExperimentResult`].
-pub fn reduce(
-    system: System,
-    policy: &str,
-    workload: &str,
-    duration_ns: u64,
-) -> ExperimentResult {
+pub fn reduce(system: System, policy: &str, workload: &str, duration_ns: u64) -> ExperimentResult {
     let half = duration_ns / 2;
     let metrics = system.metrics().clone();
     let memory = system.memory();

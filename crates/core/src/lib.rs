@@ -35,7 +35,7 @@
 
 pub mod configs;
 pub mod experiment;
-mod metrics;
+pub mod metrics;
 mod multi;
 pub mod policy;
 mod system;

@@ -8,7 +8,7 @@
 //! scheduler always progresses the workload that is furthest behind, so
 //! the interleaving is deterministic and fair.
 
-use tiered_mem::{Memory, PageFlags, PageLocation, VmEvent};
+use tiered_mem::{EventSink, Memory, PageFlags, PageKey, PageLocation, TraceEvent};
 use tiered_sim::{
     AccessObserver, LatencyModel, NullObserver, Periodic, SimRng, Workload, WorkloadEvent,
 };
@@ -80,7 +80,11 @@ impl MultiSystem {
         let daemon_timer = Periodic::new(policy.tick_period_ns());
         let lanes = workloads
             .into_iter()
-            .map(|workload| Lane { workload, clock_ns: 0, metrics: RunMetrics::new() })
+            .map(|workload| Lane {
+                workload,
+                clock_ns: 0,
+                metrics: RunMetrics::new(),
+            })
             .collect();
         Ok(MultiSystem {
             memory,
@@ -96,6 +100,19 @@ impl MultiSystem {
     /// Number of co-located workloads.
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Attaches a telemetry sink to the shared machine: every counted
+    /// memory event is also emitted as a timestamped trace record.
+    /// Disabled by default (`NullSink`), in which case runs are
+    /// bit-identical to untraced ones.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.memory.set_event_sink(sink);
+    }
+
+    /// Flushes the attached telemetry sink (for file-backed sinks).
+    pub fn flush_trace(&mut self) {
+        self.memory.flush_trace();
     }
 
     /// The machine state.
@@ -134,35 +151,36 @@ impl MultiSystem {
 
     /// Runs every lane for `duration_ns`, reporting accesses to `obs`.
     pub fn run_observed(&mut self, duration_ns: u64, obs: &mut dyn AccessObserver) {
-        let end: Vec<u64> = self.lanes.iter().map(|l| l.clock_ns + duration_ns).collect();
-        loop {
-            // Progress the lane that is furthest behind (deterministic,
-            // fair interleave); stop when every lane reached its end.
-            let Some(i) = self
-                .lanes
-                .iter()
-                .enumerate()
-                .filter(|(i, l)| l.clock_ns < end[*i])
-                .min_by_key(|(i, l)| (l.clock_ns, *i))
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
+        let end: Vec<u64> = self
+            .lanes
+            .iter()
+            .map(|l| l.clock_ns + duration_ns)
+            .collect();
+        // Progress the lane that is furthest behind (deterministic, fair
+        // interleave); stop when every lane reached its end.
+        while let Some(i) = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| l.clock_ns < end[*i])
+            .min_by_key(|(i, l)| (l.clock_ns, *i))
+            .map(|(i, _)| i)
+        {
             let now = self.lanes[i].clock_ns;
+            self.memory.set_trace_now(now);
             let op = self.lanes[i].workload.next_op(now, &mut self.rng);
             let mut mem_ns = 0u64;
             for event in &op.events {
                 match *event {
                     WorkloadEvent::Access(access) => {
                         let (cost, is_local, latency, node) = {
-                            let mut lane_rng = &mut self.rng;
                             let cost = execute_access_shared(
                                 &mut self.memory,
                                 &mut *self.policy,
                                 &self.latency,
                                 now,
                                 &access,
-                                &mut lane_rng,
+                                &mut self.rng,
                             );
                             let pfn = self
                                 .memory
@@ -196,6 +214,7 @@ impl MultiSystem {
             self.lanes[i].metrics.note_op(op_ns, mem_ns);
             // Daemons and sampling follow the global (min) clock.
             let global = self.now_ns();
+            self.memory.set_trace_now(global);
             let fires = self.daemon_timer.fire(global).min(4);
             for _ in 0..fires {
                 let mut ctx = PolicyCtx {
@@ -229,17 +248,40 @@ fn execute_access_shared(
     let mut pfn = match memory.space(access.pid).translate(access.vpn) {
         Some(PageLocation::Mapped(pfn)) => pfn,
         _ => {
-            let mut ctx = PolicyCtx { memory, latency, now_ns: now, rng };
+            let mut ctx = PolicyCtx {
+                memory,
+                latency,
+                now_ns: now,
+                rng,
+            };
             let out = policy.handle_fault(&mut ctx, access.pid, access.vpn, access.page_type);
             cost += out.cost_ns;
             out.pfn
         }
     };
-    if memory.frames().frame(pfn).flags().contains(PageFlags::HINTED) {
-        memory.frames_mut().frame_mut(pfn).flags_mut().remove(PageFlags::HINTED);
-        memory.vmstat_mut().count(VmEvent::NumaHintFaults);
+    if memory
+        .frames()
+        .frame(pfn)
+        .flags()
+        .contains(PageFlags::HINTED)
+    {
+        memory
+            .frames_mut()
+            .frame_mut(pfn)
+            .flags_mut()
+            .remove(PageFlags::HINTED);
+        let hint_node = memory.frames().frame(pfn).node();
+        memory.record(TraceEvent::HintFault {
+            page: PageKey::new(access.pid, access.vpn),
+            node: hint_node,
+        });
         cost += latency.hint_fault_ns;
-        let mut ctx = PolicyCtx { memory, latency, now_ns: now, rng };
+        let mut ctx = PolicyCtx {
+            memory,
+            latency,
+            now_ns: now,
+            rng,
+        };
         cost += policy.on_hint_fault(&mut ctx, pfn);
         pfn = match memory.space(access.pid).translate(access.vpn) {
             Some(PageLocation::Mapped(p)) => p,
@@ -270,8 +312,13 @@ mod tests {
         let a = tiered_workloads::cache1(1_500).build();
         let b = tiered_workloads::data_warehouse(1_500).build();
         let ws = 1_500 * 2 + 1_500; // regions + churn headroom
-        MultiSystem::new(configs::two_to_one(ws), policy, vec![Box::new(a), Box::new(b)], 3)
-            .unwrap()
+        MultiSystem::new(
+            configs::two_to_one(ws),
+            policy,
+            vec![Box::new(a), Box::new(b)],
+            3,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   ("frequently crashes right after the warm up phase"), which
 //!   [`PlacementPolicy::validate_config`] reproduces as a hard error.
 
-use tiered_mem::{Memory, NodeId, PageType, Pfn, Pid, VmEvent, Vpn};
+use tiered_mem::telemetry::{PromoteFailReason, PromoteSkipReason};
+use tiered_mem::{Memory, NodeId, PageType, Pfn, Pid, TraceEvent, Vpn};
 use tiered_sim::{Periodic, SEC};
 
 use super::linux_default::{evict_page, fault_with_fallback, LinuxDefaultConfig};
@@ -109,7 +110,9 @@ impl AutoTiering {
         if !wm.needs_reclaim(ctx.memory.free_pages(node)) {
             return;
         }
-        let Some(target) = ctx.memory.node(node).demotion_target() else { return };
+        let Some(target) = ctx.memory.node(node).demotion_target() else {
+            return;
+        };
         let mut time_left = self.config.demote_budget.time_ns;
         while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
             let want = (wm.high - ctx.memory.free_pages(node)).min(64) as usize;
@@ -129,11 +132,18 @@ impl AutoTiering {
                 if ctx.memory.frames().frame(pfn).hotness() > 1 {
                     continue;
                 }
-                let page_type = ctx.memory.frames().frame(pfn).page_type();
+                let frame = ctx.memory.frames().frame(pfn);
+                let page_type = frame.page_type();
+                let page = frame.owner().expect("demotion victim is allocated");
                 let cost = match ctx.memory.migrate_page(pfn, target) {
                     Ok(_) => {
                         self.buffer_tokens = (self.buffer_tokens + 1).min(self.buffer_capacity);
-                        count_demote(ctx.memory, page_type);
+                        ctx.memory.record(TraceEvent::Demote {
+                            page,
+                            from: node,
+                            to: target,
+                            page_type,
+                        });
                         ctx.latency.migrate_page_ns
                     }
                     Err(_) => match evict_page(ctx.memory, ctx.latency, pfn) {
@@ -155,15 +165,6 @@ impl AutoTiering {
     }
 }
 
-fn count_demote(memory: &mut Memory, page_type: PageType) {
-    let ev = if page_type.is_anon() {
-        VmEvent::PgDemoteAnon
-    } else {
-        VmEvent::PgDemoteFile
-    };
-    memory.vmstat_mut().count(ev);
-}
-
 impl Default for AutoTiering {
     fn default() -> AutoTiering {
         AutoTiering::new()
@@ -176,7 +177,11 @@ impl PlacementPolicy for AutoTiering {
     }
 
     fn validate_config(&self, memory: &Memory) -> Result<(), UnsupportedConfig> {
-        let local: u64 = memory.local_nodes().iter().map(|&n| memory.capacity(n)).sum();
+        let local: u64 = memory
+            .local_nodes()
+            .iter()
+            .map(|&n| memory.capacity(n))
+            .sum();
         let cxl: u64 = memory.cxl_nodes().iter().map(|&n| memory.capacity(n)).sum();
         if cxl > local * 3 {
             return Err(UnsupportedConfig {
@@ -184,7 +189,7 @@ impl PlacementPolicy for AutoTiering {
                 reason: format!(
                     "local:CXL ratio 1:{} exceeds 1:3 — the paper reports AutoTiering \
                      crashing after warm-up on 1:4 configurations",
-                    if local == 0 { u64::MAX } else { cxl / local }
+                    cxl.checked_div(local).unwrap_or(u64::MAX)
                 ),
             });
         }
@@ -200,49 +205,79 @@ impl PlacementPolicy for AutoTiering {
     ) -> FaultOutcome {
         self.ensure_buffer(ctx.memory);
         let prefer = preferred_local_node(ctx.memory);
-        fault_with_fallback(ctx, pid, vpn, page_type, prefer)
+        fault_with_fallback(ctx, pid, vpn, page_type, prefer, "autotiering")
     }
 
     fn on_hint_fault(&mut self, ctx: &mut PolicyCtx<'_>, pfn: Pfn) -> u64 {
         self.ensure_buffer(ctx.memory);
-        let node = ctx.memory.frames().frame(pfn).node();
+        let frame = ctx.memory.frames().frame(pfn);
+        let node = frame.node();
+        let page = frame.owner().expect("hint fault on a free frame");
         if !ctx.memory.node(node).is_cpu_less() {
-            ctx.memory.vmstat_mut().count(VmEvent::NumaHintFaultsLocal);
+            ctx.memory.record(TraceEvent::HintFaultLocal { page, node });
             return 0;
         }
         // Frequency criterion: only pages hot by counter are candidates.
+        // Previously a silent return — the trace makes the skip visible.
         if ctx.memory.frames().frame(pfn).hotness() < self.config.hotness_threshold {
+            if ctx.memory.trace_enabled() {
+                ctx.memory.record(TraceEvent::PromoteSkip {
+                    page,
+                    reason: PromoteSkipReason::Cold,
+                });
+            }
             return 0;
         }
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteCandidate);
+        ctx.memory.record(TraceEvent::PromoteCandidate {
+            page,
+            demoted: false,
+        });
         let target = preferred_local_node(ctx.memory);
         let wm = ctx.memory.node(target).watermarks().base;
         let free = ctx.memory.free_pages(target);
         // The reserved buffer is the only headroom: promotions need a
         // token (or genuine free space above the high watermark).
         if self.buffer_tokens == 0 && free <= wm.high {
-            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+            ctx.memory.record(TraceEvent::PromoteFail {
+                page,
+                reason: PromoteFailReason::LowMem,
+            });
+            ctx.memory.record(TraceEvent::Decision {
+                policy: "autotiering",
+                reason: "promotion_buffer_exhausted",
+                page: Some(page),
+            });
             return 0;
         }
         if free <= wm.min {
-            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+            ctx.memory.record(TraceEvent::PromoteFail {
+                page,
+                reason: PromoteFailReason::LowMem,
+            });
             return 0;
         }
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteAttempt);
+        ctx.memory.record(TraceEvent::PromoteAttempt {
+            page,
+            from: node,
+            to: target,
+        });
         let page_type = ctx.memory.frames().frame(pfn).page_type();
         match ctx.memory.migrate_page(pfn, target) {
             Ok(_) => {
                 self.buffer_tokens = self.buffer_tokens.saturating_sub(1);
-                let ev = if page_type.is_anon() {
-                    VmEvent::PgPromoteSuccessAnon
-                } else {
-                    VmEvent::PgPromoteSuccessFile
-                };
-                ctx.memory.vmstat_mut().count(ev);
+                ctx.memory.record(TraceEvent::PromoteSuccess {
+                    page,
+                    from: node,
+                    to: target,
+                    page_type,
+                });
                 ctx.latency.migrate_page_ns
             }
             Err(_) => {
-                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailBusy);
+                ctx.memory.record(TraceEvent::PromoteFail {
+                    page,
+                    reason: PromoteFailReason::Busy,
+                });
                 0
             }
         }
@@ -292,6 +327,7 @@ impl PlacementPolicy for AutoTiering {
 mod tests {
     use super::*;
     use tiered_mem::NodeKind;
+    use tiered_mem::VmEvent;
     use tiered_sim::{LatencyModel, SimRng};
 
     fn setup(local: u64, cxl: u64) -> (Memory, LatencyModel, SimRng, AutoTiering) {
@@ -300,7 +336,12 @@ mod tests {
             .node(NodeKind::Cxl, cxl)
             .build();
         m.create_process(Pid(1));
-        (m, LatencyModel::datacenter(), SimRng::seed(1), AutoTiering::new())
+        (
+            m,
+            LatencyModel::datacenter(),
+            SimRng::seed(1),
+            AutoTiering::new(),
+        )
     }
 
     #[test]
@@ -317,8 +358,15 @@ mod tests {
     #[test]
     fn promotion_requires_hotness_threshold() {
         let (mut m, lat, mut rng, mut p) = setup(64, 64);
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         // Cold by counter: not promoted.
         assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
         assert_eq!(ctx.memory.frames().frame(pfn).node(), NodeId(1));
@@ -337,19 +385,27 @@ mod tests {
         // promotion.
         let high = m.node(NodeId(0)).watermarks().base.high;
         for i in 0..(64 - high) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(1000 + i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(1000 + i), PageType::Anon)
+                .unwrap();
         }
         // Hot CXL pages.
         let pfns: Vec<Pfn> = (0..8)
             .map(|i| {
-                let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon).unwrap();
+                let pfn = m
+                    .alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon)
+                    .unwrap();
                 for _ in 0..4 {
                     m.frames_mut().frame_mut(pfn).touch_hotness();
                 }
                 pfn
             })
             .collect();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         p.ensure_buffer(ctx.memory);
         p.buffer_tokens = 2; // nearly drained
         let mut promoted = 0;
@@ -367,13 +423,22 @@ mod tests {
         let (mut m, lat, mut rng, mut p) = setup(64, 256);
         let low = m.node(NodeId(0)).watermarks().base.low;
         for i in 0..(64 - low + 4).min(63) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Tmpfs).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Tmpfs)
+                .unwrap();
         }
         for _ in 0..5 {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.tick(&mut ctx);
         }
-        assert!(m.frames().used_pages(NodeId(1)) > 0, "cold pages should move to CXL");
+        assert!(
+            m.frames().used_pages(NodeId(1)) > 0,
+            "cold pages should move to CXL"
+        );
         assert_eq!(m.swap().used_slots(), 0, "migration should beat swap");
         m.validate();
     }
@@ -381,7 +446,9 @@ mod tests {
     #[test]
     fn decay_halves_hotness_counters() {
         let (mut m, lat, mut rng, mut p) = setup(64, 64);
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         for _ in 0..8 {
             m.frames_mut().frame_mut(pfn).touch_hotness();
         }

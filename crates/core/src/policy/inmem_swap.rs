@@ -12,7 +12,7 @@
 //! through the fault path on every cold re-access, which hurts workloads
 //! that touch pages at varied frequencies.
 
-use tiered_mem::{NodeId, PageLocation, PageType, Pid, VmEvent, Vpn};
+use tiered_mem::{NodeId, PageKey, PageLocation, PageType, Pid, TraceEvent, Vpn};
 use tiered_sim::MS;
 
 use super::linux_default::{materialise_cost_ns, try_place};
@@ -37,7 +37,10 @@ impl Default for InMemorySwapConfig {
         InMemorySwapConfig {
             swap_out_ns: 4_000,
             swap_in_ns: 6_000,
-            budget: DaemonBudget { scan_pages: 512, time_ns: 5_000_000 },
+            budget: DaemonBudget {
+                scan_pages: 512,
+                time_ns: 5_000_000,
+            },
             tick_period_ns: 50 * MS,
         }
     }
@@ -53,7 +56,9 @@ pub struct InMemorySwap {
 impl InMemorySwap {
     /// Creates the policy with default knobs.
     pub fn new() -> InMemorySwap {
-        InMemorySwap { config: InMemorySwapConfig::default() }
+        InMemorySwap {
+            config: InMemorySwapConfig::default(),
+        }
     }
 
     /// Creates the policy with explicit knobs.
@@ -92,22 +97,42 @@ impl PlacementPolicy for InMemorySwap {
                 continue;
             }
             if let Some(pfn) = try_place(ctx.memory, node, pid, vpn, page_type, was_swapped) {
-                return FaultOutcome { pfn, cost_ns: base_cost };
+                return FaultOutcome {
+                    pfn,
+                    cost_ns: base_cost,
+                };
             }
         }
         // Synchronous reclaim into the pool (fast), escalating the scan
         // budget like direct reclaim does until at least one page frees.
-        ctx.memory.vmstat_mut().count(VmEvent::PgAllocStall);
+        ctx.memory.record(TraceEvent::AllocStall { node: prefer });
+        ctx.memory.record(TraceEvent::Decision {
+            policy: "inmem_swap",
+            reason: "alloc_stall_sync_pool_reclaim",
+            page: Some(PageKey::new(pid, vpn)),
+        });
         let mut cost = base_cost;
         let node_pages = ctx.memory.capacity(prefer) as usize;
         let mut scan_budget = 512usize;
         loop {
-            let victims =
-                select_victims(ctx.memory, prefer, 32, scan_budget, VictimClass::AnonAndFile);
+            let victims = select_victims(
+                ctx.memory,
+                prefer,
+                32,
+                scan_budget,
+                VictimClass::AnonAndFile,
+            );
             let mut freed = 0usize;
             for v in victims {
+                let page = ctx
+                    .memory
+                    .frames()
+                    .frame(v)
+                    .owner()
+                    .expect("victim is allocated");
                 if ctx.memory.swap_out(v).is_ok() {
-                    ctx.memory.vmstat_mut().count(VmEvent::PgSteal);
+                    ctx.memory
+                        .record(TraceEvent::ReclaimSteal { page, node: prefer });
                     cost += self.config.swap_out_ns;
                     freed += 1;
                 }
@@ -132,6 +157,10 @@ impl PlacementPolicy for InMemorySwap {
             if !wm.needs_reclaim(ctx.memory.free_pages(node)) {
                 continue;
             }
+            ctx.memory.record(TraceEvent::DaemonWake {
+                daemon: "pool_reclaim",
+                node: Some(node),
+            });
             let mut time_left = self.config.budget.time_ns;
             while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
                 let want = (wm.high - ctx.memory.free_pages(node)).min(64) as usize;
@@ -149,11 +178,17 @@ impl PlacementPolicy for InMemorySwap {
                 for pfn in victims {
                     // Everything goes to the in-memory pool, even file
                     // pages (zram holds any page).
+                    let page = ctx
+                        .memory
+                        .frames()
+                        .frame(pfn)
+                        .owner()
+                        .expect("victim is allocated");
                     if ctx.memory.swap_out(pfn).is_err() {
                         time_left = 0;
                         break;
                     }
-                    ctx.memory.vmstat_mut().count(VmEvent::PgSteal);
+                    ctx.memory.record(TraceEvent::ReclaimSteal { page, node });
                     if self.config.swap_out_ns > time_left {
                         time_left = 0;
                         break;
@@ -176,6 +211,7 @@ impl PlacementPolicy for InMemorySwap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tiered_mem::VmEvent;
     use tiered_mem::{Memory, NodeKind};
     use tiered_sim::{LatencyModel, SimRng};
 
@@ -186,7 +222,12 @@ mod tests {
             .swap_pages(1024)
             .build();
         m.create_process(Pid(1));
-        (m, LatencyModel::datacenter(), SimRng::seed(1), InMemorySwap::new())
+        (
+            m,
+            LatencyModel::datacenter(),
+            SimRng::seed(1),
+            InMemorySwap::new(),
+        )
     }
 
     #[test]
@@ -194,12 +235,25 @@ mod tests {
         let (mut m, lat, mut rng, mut p) = setup();
         let min = m.node(NodeId(0)).watermarks().base.min;
         for i in 0..(64 - min) {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::File);
         }
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         p.tick(&mut ctx);
-        assert!(m.swap().used_slots() > 0, "files should land in the pool too");
+        assert!(
+            m.swap().used_slots() > 0,
+            "files should land in the pool too"
+        );
         assert_eq!(m.vmstat().get(VmEvent::PgDropFile), 0);
         m.validate();
     }
@@ -207,10 +261,20 @@ mod tests {
     #[test]
     fn swapped_page_faults_back_cheaply() {
         let (mut m, lat, mut rng, mut p) = setup();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let out = p.handle_fault(&mut ctx, Pid(1), Vpn(7), PageType::Anon);
         m.swap_out(out.pfn).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let back = p.handle_fault(&mut ctx, Pid(1), Vpn(7), PageType::Anon);
         // Much cheaper than a disk swap-in, costlier than a plain touch.
         assert!(back.cost_ns < lat.swap_in_total_ns() / 2);
@@ -222,11 +286,21 @@ mod tests {
     fn no_migration_ever_happens() {
         let (mut m, lat, mut rng, mut p) = setup();
         for i in 0..50 {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::Anon);
         }
         for _ in 0..5 {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.tick(&mut ctx);
         }
         assert_eq!(m.vmstat().get(VmEvent::PgMigrateSuccess), 0);

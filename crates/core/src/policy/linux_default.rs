@@ -5,7 +5,7 @@
 //! there forever.
 
 use tiered_mem::{
-    Memory, NodeId, PageFlags, PageLocation, PageType, Pfn, Pid, VmEvent, Vpn,
+    Memory, NodeId, PageFlags, PageKey, PageLocation, PageType, Pfn, Pid, TraceEvent, Vpn,
 };
 use tiered_sim::{LatencyModel, MS};
 
@@ -40,12 +40,18 @@ pub struct LinuxDefault {
 impl LinuxDefault {
     /// Creates the policy with default knobs.
     pub fn new() -> LinuxDefault {
-        LinuxDefault { config: LinuxDefaultConfig::default(), kswapd_active: Vec::new() }
+        LinuxDefault {
+            config: LinuxDefaultConfig::default(),
+            kswapd_active: Vec::new(),
+        }
     }
 
     /// Creates the policy with explicit knobs.
     pub fn with_config(config: LinuxDefaultConfig) -> LinuxDefault {
-        LinuxDefault { config, kswapd_active: Vec::new() }
+        LinuxDefault {
+            config,
+            kswapd_active: Vec::new(),
+        }
     }
 }
 
@@ -62,7 +68,7 @@ impl PlacementPolicy for LinuxDefault {
         page_type: PageType,
     ) -> FaultOutcome {
         let prefer = preferred_local_node(ctx.memory);
-        fault_with_fallback(ctx, pid, vpn, page_type, prefer)
+        fault_with_fallback(ctx, pid, vpn, page_type, prefer, "linux")
     }
 
     fn tick(&mut self, ctx: &mut PolicyCtx<'_>) {
@@ -113,13 +119,15 @@ pub(crate) fn materialise_cost_ns(
 
 /// The default-kernel fault path: try each node in fallback order above
 /// its `min` watermark; fall back to direct reclaim on the preferred node
-/// when everything is below `min`.
+/// when everything is below `min`. `policy` attributes the spill/stall
+/// decision events emitted along the way.
 pub(crate) fn fault_with_fallback(
     ctx: &mut PolicyCtx<'_>,
     pid: Pid,
     vpn: Vpn,
     page_type: PageType,
     prefer: NodeId,
+    policy: &'static str,
 ) -> FaultOutcome {
     let was_swapped = matches!(
         ctx.memory.space(pid).translate(vpn),
@@ -133,16 +141,36 @@ pub(crate) fn fault_with_fallback(
             continue;
         }
         if let Some(pfn) = try_place(ctx.memory, *node, pid, vpn, page_type, was_swapped) {
-            return FaultOutcome { pfn, cost_ns: base_cost };
+            if *node != prefer && ctx.memory.trace_enabled() {
+                // Allocation spilled past the preferred node's watermark —
+                // the §4.1 failure mode TPP's headroom exists to avoid.
+                ctx.memory.record(TraceEvent::Decision {
+                    policy,
+                    reason: "alloc_spill_below_watermark",
+                    page: Some(PageKey::new(pid, vpn)),
+                });
+            }
+            return FaultOutcome {
+                pfn,
+                cost_ns: base_cost,
+            };
         }
     }
     // Every node is under its min watermark: direct reclaim on the
     // preferred node, charged to the task.
-    ctx.memory.vmstat_mut().count(VmEvent::PgAllocStall);
+    ctx.memory.record(TraceEvent::AllocStall { node: prefer });
+    ctx.memory.record(TraceEvent::Decision {
+        policy,
+        reason: "alloc_stall_direct_reclaim",
+        page: Some(PageKey::new(pid, vpn)),
+    });
     let reclaim_cost = direct_reclaim(ctx.memory, ctx.latency, prefer, 32);
     for node in &order {
         if let Some(pfn) = try_place(ctx.memory, *node, pid, vpn, page_type, was_swapped) {
-            return FaultOutcome { pfn, cost_ns: base_cost + reclaim_cost };
+            return FaultOutcome {
+                pfn,
+                cost_ns: base_cost + reclaim_cost,
+            };
         }
     }
     panic!("simulated OOM: no node can host {pid}:{vpn} even after direct reclaim");
@@ -157,7 +185,10 @@ pub(crate) fn try_place(
     page_type: PageType,
     was_swapped: bool,
 ) -> Option<Pfn> {
-    memory.vmstat_mut().count(VmEvent::PgFault);
+    memory.record(TraceEvent::Fault {
+        page: PageKey::new(pid, vpn),
+        major: was_swapped,
+    });
     let res = if was_swapped {
         memory.swap_in(pid, vpn, node, page_type)
     } else {
@@ -172,26 +203,28 @@ pub(crate) fn try_place(
 /// * anon and tmpfs pages are written to swap,
 /// * dirty file pages pay a writeback before being dropped,
 /// * clean file pages are dropped for free.
-pub(crate) fn evict_page(
-    memory: &mut Memory,
-    latency: &LatencyModel,
-    pfn: Pfn,
-) -> Option<u64> {
+pub(crate) fn evict_page(memory: &mut Memory, latency: &LatencyModel, pfn: Pfn) -> Option<u64> {
     let frame = memory.frames().frame(pfn);
     let page_type = frame.page_type();
     let dirty = frame.flags().contains(PageFlags::DIRTY);
+    let node = frame.node();
+    let page = frame.owner().expect("eviction victim is allocated");
     match page_type {
         PageType::Anon | PageType::Tmpfs => match memory.swap_out(pfn) {
             Ok(_) => {
-                memory.vmstat_mut().count(VmEvent::PgSteal);
+                memory.record(TraceEvent::ReclaimSteal { page, node });
                 Some(latency.swap_out_page_ns)
             }
             Err(_) => None,
         },
         PageType::File => {
             memory.drop_file_page(pfn);
-            memory.vmstat_mut().count(VmEvent::PgSteal);
-            Some(if dirty { latency.swap_out_page_ns } else { latency.scan_page_ns })
+            memory.record(TraceEvent::ReclaimSteal { page, node });
+            Some(if dirty {
+                latency.swap_out_page_ns
+            } else {
+                latency.scan_page_ns
+            })
         }
     }
 }
@@ -221,8 +254,28 @@ pub(crate) fn kswapd_pass(
             return 0;
         }
         *active = true;
+        if memory.trace_enabled() {
+            memory.record(TraceEvent::WatermarkCross {
+                node,
+                level: "low",
+                free,
+                below: true,
+            });
+            memory.record(TraceEvent::DaemonWake {
+                daemon: "kswapd",
+                node: Some(node),
+            });
+        }
     } else if free >= boost_target {
         *active = false;
+        if memory.trace_enabled() {
+            memory.record(TraceEvent::WatermarkCross {
+                node,
+                level: "high_boost",
+                free,
+                below: false,
+            });
+        }
         return 0;
     }
     let mut time_left = budget.time_ns;
@@ -282,6 +335,7 @@ pub(crate) fn direct_reclaim(
 mod tests {
     use super::*;
     use tiered_mem::NodeKind;
+    use tiered_mem::VmEvent;
     use tiered_sim::SimRng;
 
     fn ctx_parts() -> (Memory, LatencyModel, SimRng) {
@@ -302,7 +356,12 @@ mod tests {
         vpn: u64,
         t: PageType,
     ) -> FaultOutcome {
-        let mut ctx = PolicyCtx { memory: m, latency: lat, now_ns: 0, rng };
+        let mut ctx = PolicyCtx {
+            memory: m,
+            latency: lat,
+            now_ns: 0,
+            rng,
+        };
         policy.handle_fault(&mut ctx, Pid(1), Vpn(vpn), t)
     }
 
@@ -353,7 +412,12 @@ mod tests {
         assert!(wm.needs_reclaim(m.free_pages(NodeId(0))));
         // Run several daemon ticks.
         for _ in 0..20 {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.tick(&mut ctx);
         }
         assert!(m.free_pages(NodeId(0)) >= wm.high);
@@ -371,7 +435,12 @@ mod tests {
             fault(&mut p, &mut m, &lat, &mut rng, i, PageType::Anon);
         }
         let before = m.vmstat().get(VmEvent::PswpOut);
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         p.tick(&mut ctx);
         let per_tick = m.vmstat().get(VmEvent::PswpOut) - before;
         // 5 ms budget at 130 µs/page ≈ 38 pages max.
@@ -382,9 +451,16 @@ mod tests {
     fn clean_file_pages_drop_dirty_ones_pay_writeback() {
         let (mut m, lat, _) = ctx_parts();
         m.create_process(Pid(2));
-        let clean = m.alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::File).unwrap();
-        let dirty = m.alloc_and_map(NodeId(0), Pid(2), Vpn(2), PageType::File).unwrap();
-        m.frames_mut().frame_mut(dirty).flags_mut().insert(PageFlags::DIRTY);
+        let clean = m
+            .alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::File)
+            .unwrap();
+        let dirty = m
+            .alloc_and_map(NodeId(0), Pid(2), Vpn(2), PageType::File)
+            .unwrap();
+        m.frames_mut()
+            .frame_mut(dirty)
+            .flags_mut()
+            .insert(PageFlags::DIRTY);
         let c1 = evict_page(&mut m, &lat, clean).unwrap();
         let c2 = evict_page(&mut m, &lat, dirty).unwrap();
         assert!(c2 > c1 * 100);
@@ -396,7 +472,9 @@ mod tests {
     fn tmpfs_pages_must_swap_not_drop() {
         let (mut m, lat, _) = ctx_parts();
         m.create_process(Pid(2));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::Tmpfs).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(2), Vpn(1), PageType::Tmpfs)
+            .unwrap();
         evict_page(&mut m, &lat, pfn).unwrap();
         assert_eq!(m.swap().used_slots(), 1);
         assert_eq!(m.vmstat().get(VmEvent::PswpOut), 1);
@@ -425,7 +503,12 @@ mod tests {
         let (mut m, lat, mut rng) = ctx_parts();
         let mut p = LinuxDefault::new();
         let out = fault(&mut p, &mut m, &lat, &mut rng, 1, PageType::Anon);
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         assert_eq!(p.on_hint_fault(&mut ctx, out.pfn), 0);
     }
 }

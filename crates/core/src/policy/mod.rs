@@ -62,7 +62,11 @@ pub struct UnsupportedConfig {
 
 impl fmt::Display for UnsupportedConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cannot run on this machine: {}", self.policy, self.reason)
+        write!(
+            f,
+            "{} cannot run on this machine: {}",
+            self.policy, self.reason
+        )
     }
 }
 
@@ -154,7 +158,10 @@ mod tests {
 
     #[test]
     fn unsupported_config_displays() {
-        let e = UnsupportedConfig { policy: "autotiering".into(), reason: "1:4 split".into() };
+        let e = UnsupportedConfig {
+            policy: "autotiering".into(),
+            reason: "1:4 split".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains("autotiering"));
         assert!(msg.contains("1:4"));

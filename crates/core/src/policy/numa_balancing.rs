@@ -6,7 +6,8 @@
 //! still pages out to swap, and under memory pressure promotion simply
 //! stops and hot pages stay trapped on the CXL node.
 
-use tiered_mem::{PageType, Pid, VmEvent, Vpn};
+use tiered_mem::telemetry::PromoteFailReason;
+use tiered_mem::{PageType, Pid, TraceEvent, Vpn};
 use tiered_sim::Periodic;
 
 use super::linux_default::{fault_with_fallback, kswapd_pass, LinuxDefaultConfig};
@@ -79,40 +80,60 @@ impl PlacementPolicy for NumaBalancing {
         page_type: PageType,
     ) -> FaultOutcome {
         let prefer = preferred_local_node(ctx.memory);
-        fault_with_fallback(ctx, pid, vpn, page_type, prefer)
+        fault_with_fallback(ctx, pid, vpn, page_type, prefer, "numa_balancing")
     }
 
     fn on_hint_fault(&mut self, ctx: &mut PolicyCtx<'_>, pfn: tiered_mem::Pfn) -> u64 {
-        let node = ctx.memory.frames().frame(pfn).node();
+        let frame = ctx.memory.frames().frame(pfn);
+        let node = frame.node();
+        let page = frame.owner().expect("hint fault on a free frame");
         if !ctx.memory.node(node).is_cpu_less() {
             // Hint fault on a local page: pure sampling overhead.
-            ctx.memory.vmstat_mut().count(VmEvent::NumaHintFaultsLocal);
+            ctx.memory.record(TraceEvent::HintFaultLocal { page, node });
             return 0;
         }
         let target = preferred_local_node(ctx.memory);
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteCandidate);
+        ctx.memory.record(TraceEvent::PromoteCandidate {
+            page,
+            demoted: false,
+        });
         // Default NUMA balancing refuses to migrate unless the target is
         // comfortably above its high watermark — this is exactly how hot
         // pages get trapped on the CXL node under pressure (§4.2).
         let wm = ctx.memory.node(target).watermarks().base;
         if ctx.memory.free_pages(target) <= wm.high {
-            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+            ctx.memory.record(TraceEvent::PromoteFail {
+                page,
+                reason: PromoteFailReason::LowMem,
+            });
+            ctx.memory.record(TraceEvent::Decision {
+                policy: "numa_balancing",
+                reason: "target_below_high_watermark_page_trapped",
+                page: Some(page),
+            });
             return 0;
         }
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteAttempt);
+        ctx.memory.record(TraceEvent::PromoteAttempt {
+            page,
+            from: node,
+            to: target,
+        });
         let page_type = ctx.memory.frames().frame(pfn).page_type();
         match ctx.memory.migrate_page(pfn, target) {
             Ok(_) => {
-                let ev = if page_type.is_anon() {
-                    VmEvent::PgPromoteSuccessAnon
-                } else {
-                    VmEvent::PgPromoteSuccessFile
-                };
-                ctx.memory.vmstat_mut().count(ev);
+                ctx.memory.record(TraceEvent::PromoteSuccess {
+                    page,
+                    from: node,
+                    to: target,
+                    page_type,
+                });
                 ctx.latency.migrate_page_ns
             }
             Err(_) => {
-                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailBusy);
+                ctx.memory.record(TraceEvent::PromoteFail {
+                    page,
+                    reason: PromoteFailReason::Busy,
+                });
                 0
             }
         }
@@ -142,6 +163,7 @@ impl PlacementPolicy for NumaBalancing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tiered_mem::VmEvent;
     use tiered_mem::{Memory, NodeId, NodeKind, PageFlags, PageLocation};
     use tiered_sim::{LatencyModel, SimRng};
 
@@ -151,14 +173,26 @@ mod tests {
             .node(NodeKind::Cxl, 128)
             .build();
         m.create_process(Pid(1));
-        (m, LatencyModel::datacenter(), SimRng::seed(1), NumaBalancing::new())
+        (
+            m,
+            LatencyModel::datacenter(),
+            SimRng::seed(1),
+            NumaBalancing::new(),
+        )
     }
 
     #[test]
     fn promotes_cxl_page_when_local_has_headroom() {
         let (mut m, lat, mut rng, mut p) = setup();
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let cost = p.on_hint_fault(&mut ctx, pfn);
         assert_eq!(cost, lat.migrate_page_ns);
         let new = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
@@ -173,10 +207,18 @@ mod tests {
         // Fill local down to (high watermark) free pages.
         let high = m.node(NodeId(0)).watermarks().base.high;
         for i in 0..(64 - high) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(100 + i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(100 + i), PageType::Anon)
+                .unwrap();
         }
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
         // Page remains trapped on the CXL node.
         assert_eq!(m.frames().frame(pfn).node(), NodeId(1));
@@ -187,8 +229,15 @@ mod tests {
     #[test]
     fn local_hint_faults_are_counted_as_overhead() {
         let (mut m, lat, mut rng, mut p) = setup();
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
         assert_eq!(m.vmstat().get(VmEvent::NumaHintFaultsLocal), 1);
         assert_eq!(m.frames().frame(pfn).node(), NodeId(0));
@@ -197,8 +246,10 @@ mod tests {
     #[test]
     fn sampler_marks_local_pages_too() {
         let (mut m, lat, mut rng, mut p) = setup();
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon)
+            .unwrap();
         let mut ctx = PolicyCtx {
             memory: &mut m,
             latency: &lat,
@@ -212,7 +263,11 @@ mod tests {
                 .filter(|&f| m.frames().frame(f).flags().contains(PageFlags::HINTED))
                 .count()
         };
-        assert_eq!(hinted(&m, NodeId(0)), 1, "default NUMA balancing samples local nodes");
+        assert_eq!(
+            hinted(&m, NodeId(0)),
+            1,
+            "default NUMA balancing samples local nodes"
+        );
         assert_eq!(hinted(&m, NodeId(1)), 1);
     }
 
@@ -221,14 +276,27 @@ mod tests {
         let (mut m, lat, mut rng, mut p) = setup();
         let min = m.node(NodeId(0)).watermarks().base.min;
         for i in 0..(64 - min) {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.handle_fault(&mut ctx, Pid(1), Vpn(i), PageType::Tmpfs);
         }
         for _ in 0..10 {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
             p.tick(&mut ctx);
         }
-        assert!(m.swap().used_slots() > 0, "no demotion path exists; swap must be used");
+        assert!(
+            m.swap().used_slots() > 0,
+            "no demotion path exists; swap must be used"
+        );
         // Nothing was migrated to the CXL node by reclaim.
         assert_eq!(m.vmstat().demoted_total(), 0);
         let _ = m.space(Pid(1)).translate(Vpn(0)) == Some(PageLocation::Mapped(tiered_mem::Pfn(0)));

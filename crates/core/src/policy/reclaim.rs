@@ -2,7 +2,7 @@
 //! semantics and active-list aging, used by every policy's background
 //! daemon.
 
-use tiered_mem::{LruKind, Memory, NodeId, PageFlags, Pfn, VmEvent};
+use tiered_mem::{LruKind, Memory, NodeId, PageFlags, Pfn, TraceEvent, VmEvent};
 
 /// Per-tick resource budget of a background daemon.
 ///
@@ -24,13 +24,19 @@ impl DaemonBudget {
     /// The throttled budget default Linux kswapd runs with (the kernel's
     /// priority-based scanning walks only a small LRU slice per wakeup).
     pub fn kswapd() -> DaemonBudget {
-        DaemonBudget { scan_pages: 96, time_ns: 5_000_000 }
+        DaemonBudget {
+            scan_pages: 96,
+            time_ns: 5_000_000,
+        }
     }
 
     /// The budget of TPP's demotion daemon — same CPU slice, larger scan
     /// window (migration is cheap enough to act on what it scans).
     pub fn demoter() -> DaemonBudget {
-        DaemonBudget { scan_pages: 2048, time_ns: 5_000_000 }
+        DaemonBudget {
+            scan_pages: 2048,
+            time_ns: 5_000_000,
+        }
     }
 }
 
@@ -77,14 +83,13 @@ pub fn select_victims(
         let mut kind_victims = Vec::new();
         let list_len = memory.node(node).lru.len(kind) as usize;
         let mut remaining = list_len;
-        while victims.len() + kind_victims.len() < want
-            && scanned < scan_budget
-            && remaining > 0
-        {
-            let Some(pfn) = take_tail(memory, node, kind) else { break };
+        let scanned_before = scanned;
+        while victims.len() + kind_victims.len() < want && scanned < scan_budget && remaining > 0 {
+            let Some(pfn) = take_tail(memory, node, kind) else {
+                break;
+            };
             scanned += 1;
             remaining -= 1;
-            memory.vmstat_mut().count(VmEvent::PgScan);
             let flags = memory.frames().frame(pfn).flags();
             if flags.contains(PageFlags::UNEVICTABLE) {
                 relink_front(memory, node, kind, pfn);
@@ -109,6 +114,14 @@ pub fn select_victims(
         for &pfn in kind_victims.iter().rev() {
             relink_back(memory, node, kind, pfn);
         }
+        // One batched scan event per list: `pgscan` advances by exactly
+        // the number of pages this loop visited.
+        if scanned > scanned_before {
+            memory.record(TraceEvent::ReclaimScan {
+                node,
+                pages: (scanned - scanned_before) as u64,
+            });
+        }
         victims.extend(kind_victims);
         if victims.len() >= want || scanned >= scan_budget {
             break;
@@ -123,7 +136,9 @@ pub fn select_victims(
 pub fn age_active_list(memory: &mut Memory, node: NodeId, inactive: LruKind, batch: usize) {
     let active = inactive.counterpart();
     for _ in 0..batch {
-        let Some(pfn) = take_tail(memory, node, active) else { break };
+        let Some(pfn) = take_tail(memory, node, active) else {
+            break;
+        };
         let frame = memory.frames_mut().frame_mut(pfn);
         let was_ref = frame.flags_mut().test_and_clear(PageFlags::REFERENCED);
         if was_ref {
@@ -172,7 +187,10 @@ mod tests {
             .build();
         m.create_process(Pid(1));
         let files = (0..n_file)
-            .map(|i| m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap())
+            .map(|i| {
+                m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                    .unwrap()
+            })
             .collect();
         let anons = (0..n_anon)
             .map(|i| {
@@ -207,14 +225,24 @@ mod tests {
         let (mut m, files, _) = setup(4, 0);
         // Mark the two coldest as referenced.
         for &pfn in &files[..2] {
-            m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::REFERENCED);
+            m.frames_mut()
+                .frame_mut(pfn)
+                .flags_mut()
+                .insert(PageFlags::REFERENCED);
         }
         let victims = select_victims(&mut m, NodeId(0), 2, 64, VictimClass::FileOnly);
         assert_eq!(victims, vec![files[2], files[3]]);
         // Referenced bits were consumed.
         for &pfn in &files[..2] {
-            assert!(!m.frames().frame(pfn).flags().contains(PageFlags::REFERENCED));
-            assert_eq!(m.frames().frame(pfn).lru_kind(), Some(LruKind::FileInactive));
+            assert!(!m
+                .frames()
+                .frame(pfn)
+                .flags()
+                .contains(PageFlags::REFERENCED));
+            assert_eq!(
+                m.frames().frame(pfn).lru_kind(),
+                Some(LruKind::FileInactive)
+            );
         }
         m.validate();
     }
@@ -222,17 +250,26 @@ mod tests {
     #[test]
     fn referenced_anon_pages_are_activated() {
         let (mut m, _, anons) = setup(0, 4);
-        m.frames_mut().frame_mut(anons[0]).flags_mut().insert(PageFlags::REFERENCED);
+        m.frames_mut()
+            .frame_mut(anons[0])
+            .flags_mut()
+            .insert(PageFlags::REFERENCED);
         let victims = select_victims(&mut m, NodeId(0), 1, 64, VictimClass::AnonAndFile);
         assert_eq!(victims, vec![anons[1]]);
-        assert_eq!(m.frames().frame(anons[0]).lru_kind(), Some(LruKind::AnonActive));
+        assert_eq!(
+            m.frames().frame(anons[0]).lru_kind(),
+            Some(LruKind::AnonActive)
+        );
         m.validate();
     }
 
     #[test]
     fn unevictable_pages_are_skipped() {
         let (mut m, files, _) = setup(3, 0);
-        m.frames_mut().frame_mut(files[0]).flags_mut().insert(PageFlags::UNEVICTABLE);
+        m.frames_mut()
+            .frame_mut(files[0])
+            .flags_mut()
+            .insert(PageFlags::UNEVICTABLE);
         let victims = select_victims(&mut m, NodeId(0), 3, 64, VictimClass::FileOnly);
         assert_eq!(victims, vec![files[1], files[2]]);
         m.validate();
@@ -244,7 +281,10 @@ mod tests {
         // Every page referenced: with a scan budget of 4, nothing is
         // selected and only 4 pages are scanned.
         for &pfn in &files {
-            m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::REFERENCED);
+            m.frames_mut()
+                .frame_mut(pfn)
+                .flags_mut()
+                .insert(PageFlags::REFERENCED);
         }
         let before = m.vmstat().get(VmEvent::PgScan);
         let victims = select_victims(&mut m, NodeId(0), 8, 4, VictimClass::FileOnly);
@@ -279,7 +319,8 @@ mod tests {
         m.create_process(Pid(1));
         // New anon pages land on the *active* list.
         for i in 0..8 {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
         }
         assert_eq!(m.node(NodeId(0)).lru.len(LruKind::AnonInactive), 0);
         // select_victims internally rebalances, so victims appear even
@@ -293,6 +334,9 @@ mod tests {
     #[test]
     fn budgets_have_expected_asymmetry() {
         assert!(DaemonBudget::demoter().scan_pages > DaemonBudget::kswapd().scan_pages * 8);
-        assert_eq!(DaemonBudget::demoter().time_ns, DaemonBudget::kswapd().time_ns);
+        assert_eq!(
+            DaemonBudget::demoter().time_ns,
+            DaemonBudget::kswapd().time_ns
+        );
     }
 }

@@ -58,7 +58,10 @@ pub struct HintSampler {
 impl HintSampler {
     /// Creates a scanner.
     pub fn new(config: SamplerConfig) -> HintSampler {
-        HintSampler { config, cursors: std::collections::HashMap::new() }
+        HintSampler {
+            config,
+            cursors: std::collections::HashMap::new(),
+        }
     }
 
     /// The configuration.
@@ -126,10 +129,12 @@ mod tests {
             .build();
         m.create_process(Pid(1));
         for i in 0..16 {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
         }
         for i in 16..32 {
-            m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
         }
         m
     }

@@ -26,9 +26,8 @@
 //! The `decouple` and `active_lru_filter` switches exist to reproduce the
 //! paper's component ablations (Figures 17 and 18).
 
-use tiered_mem::{
-    NodeId, PageFlags, PageType, Pfn, Pid, VmEvent, Vpn,
-};
+use tiered_mem::telemetry::{PromoteFailReason, PromoteSkipReason};
+use tiered_mem::{NodeId, PageFlags, PageType, Pfn, Pid, TraceEvent, Vpn};
 use tiered_sim::{Periodic, MS};
 
 use super::linux_default::{evict_page, fault_with_fallback, kswapd_pass, materialise_cost_ns};
@@ -130,11 +129,40 @@ impl Tpp {
         if !trigger_hit {
             return;
         }
+        if ctx.memory.trace_enabled() {
+            // Which watermark fired distinguishes §5.2 decoupled demotion
+            // from the coupled (Figure 17 ablation) trigger.
+            ctx.memory.record(TraceEvent::WatermarkCross {
+                node,
+                level: if self.config.decouple {
+                    "demote_trigger"
+                } else {
+                    "low"
+                },
+                free,
+                below: true,
+            });
+            ctx.memory.record(TraceEvent::DaemonWake {
+                daemon: "demoter",
+                node: Some(node),
+            });
+        }
         let Some(target) = ctx.memory.node(node).demotion_target() else {
             // Terminal tier: fall back to default reclaim.
+            ctx.memory.record(TraceEvent::Decision {
+                policy: "tpp",
+                reason: "terminal_tier_default_reclaim",
+                page: None,
+            });
             self.kswapd_active.resize(ctx.memory.node_count(), false);
             let mut active = self.kswapd_active[node.index()];
-            kswapd_pass(ctx.memory, ctx.latency, node, self.config.kswapd_budget, &mut active);
+            kswapd_pass(
+                ctx.memory,
+                ctx.latency,
+                node,
+                self.config.kswapd_budget,
+                &mut active,
+            );
             self.kswapd_active[node.index()] = active;
             return;
         };
@@ -155,7 +183,9 @@ impl Tpp {
             }
             let mut progressed = false;
             for pfn in victims {
-                let page_type = ctx.memory.frames().frame(pfn).page_type();
+                let frame = ctx.memory.frames().frame(pfn);
+                let page_type = frame.page_type();
+                let page = frame.owner().expect("demotion victim is allocated");
                 let cost = match ctx.memory.migrate_page(pfn, target) {
                     Ok(new_pfn) => {
                         // Tag for the ping-pong detector (§5.5).
@@ -164,18 +194,18 @@ impl Tpp {
                             .frame_mut(new_pfn)
                             .flags_mut()
                             .insert(PageFlags::DEMOTED);
-                        let ev = if page_type.is_anon() {
-                            VmEvent::PgDemoteAnon
-                        } else {
-                            VmEvent::PgDemoteFile
-                        };
-                        ctx.memory.vmstat_mut().count(ev);
+                        ctx.memory.record(TraceEvent::Demote {
+                            page,
+                            from: node,
+                            to: target,
+                            page_type,
+                        });
                         ctx.latency.migrate_page_ns
                     }
                     Err(_) => {
                         // Migration failed (e.g. CXL node full): fall back
                         // to the default reclaim mechanism for this page.
-                        ctx.memory.vmstat_mut().count(VmEvent::PgDemoteFallback);
+                        ctx.memory.record(TraceEvent::DemoteFallback { page, node });
                         match evict_page(ctx.memory, ctx.latency, pfn) {
                             Some(c) => c,
                             None => break,
@@ -225,7 +255,12 @@ impl PlacementPolicy for Tpp {
                 let wm = ctx.memory.node(cxl).watermarks().base;
                 if wm.allows_allocation(ctx.memory.free_pages(cxl)) {
                     if let Some(pfn) = super::linux_default::try_place(
-                        ctx.memory, cxl, pid, vpn, page_type, was_swapped,
+                        ctx.memory,
+                        cxl,
+                        pid,
+                        vpn,
+                        page_type,
+                        was_swapped,
                     ) {
                         return FaultOutcome {
                             pfn,
@@ -235,15 +270,17 @@ impl PlacementPolicy for Tpp {
                 }
             }
         }
-        fault_with_fallback(ctx, pid, vpn, page_type, local)
+        fault_with_fallback(ctx, pid, vpn, page_type, local, "tpp")
     }
 
     fn on_hint_fault(&mut self, ctx: &mut PolicyCtx<'_>, pfn: Pfn) -> u64 {
-        let node = ctx.memory.frames().frame(pfn).node();
+        let frame = ctx.memory.frames().frame(pfn);
+        let node = frame.node();
+        let page = frame.owner().expect("hint fault on a free frame");
         if !ctx.memory.node(node).is_cpu_less() {
             // CXL-only sampling should make this impossible; count it as
             // overhead if it ever happens.
-            ctx.memory.vmstat_mut().count(VmEvent::NumaHintFaultsLocal);
+            ctx.memory.record(TraceEvent::HintFaultLocal { page, node });
             return 0;
         }
         // Apt identification of trapped hot pages (§5.3): a page on the
@@ -255,24 +292,34 @@ impl PlacementPolicy for Tpp {
             match lru_kind {
                 Some(kind) if !kind.is_active() => {
                     ctx.memory.activate_page(pfn);
-                    ctx.memory.vmstat_mut().count(VmEvent::PgPromoteSkipInactive);
+                    ctx.memory.record(TraceEvent::PromoteSkip {
+                        page,
+                        reason: PromoteSkipReason::Inactive,
+                    });
                     return 0;
                 }
                 Some(_) => {}
                 None => return 0, // isolated elsewhere
             }
         }
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteCandidate);
-        if ctx.memory.frames().frame(pfn).flags().contains(PageFlags::DEMOTED) {
-            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteCandidateDemoted);
-        }
+        let demoted = ctx
+            .memory
+            .frames()
+            .frame(pfn)
+            .flags()
+            .contains(PageFlags::DEMOTED);
+        ctx.memory
+            .record(TraceEvent::PromoteCandidate { page, demoted });
         // Promotion rate limit (upstream's promote_rate_limit knob).
         if let Some(limit) = self.config.promote_rate_limit {
             if self.token_refill.fire(ctx.now_ns) > 0 {
                 self.promote_tokens = limit;
             }
             if self.promote_tokens == 0 {
-                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailSystem);
+                ctx.memory.record(TraceEvent::PromoteFail {
+                    page,
+                    reason: PromoteFailReason::System,
+                });
                 return 0;
             }
             self.promote_tokens -= 1;
@@ -283,10 +330,17 @@ impl PlacementPolicy for Tpp {
         // above that essentially always.
         let wm = ctx.memory.node(target).watermarks();
         if !wm.allows_promotion(ctx.memory.free_pages(target)) {
-            ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+            ctx.memory.record(TraceEvent::PromoteFail {
+                page,
+                reason: PromoteFailReason::LowMem,
+            });
             return 0;
         }
-        ctx.memory.vmstat_mut().count(VmEvent::PgPromoteAttempt);
+        ctx.memory.record(TraceEvent::PromoteAttempt {
+            page,
+            from: node,
+            to: target,
+        });
         let page_type = ctx.memory.frames().frame(pfn).page_type();
         match ctx.memory.migrate_page(pfn, target) {
             Ok(new_pfn) => {
@@ -296,20 +350,26 @@ impl PlacementPolicy for Tpp {
                     .frame_mut(new_pfn)
                     .flags_mut()
                     .remove(PageFlags::DEMOTED);
-                let ev = if page_type.is_anon() {
-                    VmEvent::PgPromoteSuccessAnon
-                } else {
-                    VmEvent::PgPromoteSuccessFile
-                };
-                ctx.memory.vmstat_mut().count(ev);
+                ctx.memory.record(TraceEvent::PromoteSuccess {
+                    page,
+                    from: node,
+                    to: target,
+                    page_type,
+                });
                 ctx.latency.migrate_page_ns
             }
             Err(tiered_mem::MigrateError::DstNoMemory { .. }) => {
-                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailLowMem);
+                ctx.memory.record(TraceEvent::PromoteFail {
+                    page,
+                    reason: PromoteFailReason::LowMem,
+                });
                 0
             }
             Err(_) => {
-                ctx.memory.vmstat_mut().count(VmEvent::PgPromoteFailBusy);
+                ctx.memory.record(TraceEvent::PromoteFail {
+                    page,
+                    reason: PromoteFailReason::Busy,
+                });
                 0
             }
         }
@@ -325,7 +385,13 @@ impl PlacementPolicy for Tpp {
         self.kswapd_active.resize(ctx.memory.node_count(), false);
         for node in ctx.memory.cxl_nodes() {
             let mut active = self.kswapd_active[node.index()];
-            kswapd_pass(ctx.memory, ctx.latency, node, self.config.kswapd_budget, &mut active);
+            kswapd_pass(
+                ctx.memory,
+                ctx.latency,
+                node,
+                self.config.kswapd_budget,
+                &mut active,
+            );
             self.kswapd_active[node.index()] = active;
         }
         if self.scan_timer.fire(ctx.now_ns) > 0 {
@@ -341,6 +407,7 @@ impl PlacementPolicy for Tpp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tiered_mem::VmEvent;
     use tiered_mem::{LruKind, Memory, NodeKind};
     use tiered_sim::{LatencyModel, SimRng};
 
@@ -355,7 +422,12 @@ mod tests {
     }
 
     fn tick(p: &mut Tpp, m: &mut Memory, lat: &LatencyModel, rng: &mut SimRng, now: u64) {
-        let mut ctx = PolicyCtx { memory: m, latency: lat, now_ns: now, rng };
+        let mut ctx = PolicyCtx {
+            memory: m,
+            latency: lat,
+            now_ns: now,
+            rng,
+        };
         p.tick(&mut ctx);
     }
 
@@ -366,9 +438,13 @@ mod tests {
         // Fill local past the demotion trigger.
         let trigger = m.node(NodeId(0)).watermarks().demote_trigger;
         for i in 0..(256 - trigger + 8).min(255) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                .unwrap();
         }
-        assert!(m.node(NodeId(0)).watermarks().needs_demotion(m.free_pages(NodeId(0))));
+        assert!(m
+            .node(NodeId(0))
+            .watermarks()
+            .needs_demotion(m.free_pages(NodeId(0))));
         for t in 0..10 {
             tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
         }
@@ -392,7 +468,8 @@ mod tests {
         let (mut m, lat, mut rng) = setup(256, 1024);
         let mut p = Tpp::new();
         for i in 0..250 {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
         }
         for t in 0..20 {
             tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
@@ -407,16 +484,31 @@ mod tests {
         let (mut m, lat, mut rng) = setup(64, 64);
         let mut p = Tpp::new();
         // A file page on the CXL node starts on the inactive list.
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::File).unwrap();
-        assert_eq!(m.frames().frame(pfn).lru_kind(), Some(LruKind::FileInactive));
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::File)
+            .unwrap();
+        assert_eq!(
+            m.frames().frame(pfn).lru_kind(),
+            Some(LruKind::FileInactive)
+        );
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         // First hint fault: activated, not promoted.
         assert_eq!(p.on_hint_fault(&mut ctx, pfn), 0);
         assert_eq!(m.frames().frame(pfn).lru_kind(), Some(LruKind::FileActive));
         assert_eq!(m.frames().frame(pfn).node(), NodeId(1));
         assert_eq!(m.vmstat().get(VmEvent::PgPromoteSkipInactive), 1);
         // Second hint fault: found on the active LRU → promoted.
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let cost = p.on_hint_fault(&mut ctx, pfn);
         assert_eq!(cost, lat.migrate_page_ns);
         let new = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
@@ -428,9 +520,19 @@ mod tests {
     #[test]
     fn disabling_the_filter_promotes_instantly() {
         let (mut m, lat, mut rng) = setup(64, 64);
-        let mut p = Tpp::with_config(TppConfig { active_lru_filter: false, ..TppConfig::default() });
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::File).unwrap();
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut p = Tpp::with_config(TppConfig {
+            active_lru_filter: false,
+            ..TppConfig::default()
+        });
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::File)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         assert!(p.on_hint_fault(&mut ctx, pfn) > 0);
         assert_eq!(m.vmstat().get(VmEvent::PgPromoteSuccessFile), 1);
     }
@@ -443,11 +545,19 @@ mod tests {
         // would refuse (it checks high), TPP promotes.
         let min = m.node(NodeId(0)).watermarks().base.min;
         for i in 0..(64 - min - 1) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(1000 + i), PageType::Anon).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(1000 + i), PageType::Anon)
+                .unwrap();
         }
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         // Anon pages start active → no filter skip.
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let cost = p.on_hint_fault(&mut ctx, pfn);
         assert!(cost > 0, "promotion should bypass the allocation watermark");
         assert_eq!(m.vmstat().promoted_total(), 1);
@@ -458,10 +568,20 @@ mod tests {
     fn promotion_clears_demoted_flag_and_counts_pingpong() {
         let (mut m, lat, mut rng) = setup(64, 64);
         let mut p = Tpp::new();
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         let demoted = m.migrate_page(pfn, NodeId(1)).unwrap();
-        m.frames_mut().frame_mut(demoted).flags_mut().insert(PageFlags::DEMOTED);
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        m.frames_mut()
+            .frame_mut(demoted)
+            .flags_mut()
+            .insert(PageFlags::DEMOTED);
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         assert!(p.on_hint_fault(&mut ctx, demoted) > 0);
         assert_eq!(m.vmstat().get(VmEvent::PgPromoteCandidateDemoted), 1);
         let new = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
@@ -471,8 +591,16 @@ mod tests {
     #[test]
     fn cache_to_cxl_places_files_remotely_and_anons_locally() {
         let (mut m, lat, mut rng) = setup(64, 64);
-        let mut p = Tpp::with_config(TppConfig { cache_to_cxl: true, ..TppConfig::default() });
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 0, rng: &mut rng };
+        let mut p = Tpp::with_config(TppConfig {
+            cache_to_cxl: true,
+            ..TppConfig::default()
+        });
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
         let f = p.handle_fault(&mut ctx, Pid(1), Vpn(0), PageType::Tmpfs);
         let a = p.handle_fault(&mut ctx, Pid(1), Vpn(1), PageType::Anon);
         assert_eq!(m.frames().frame(f.pfn).node(), NodeId(1));
@@ -490,11 +618,19 @@ mod tests {
         // Eight hot anon pages on CXL, all hint-faulting within the same
         // simulated second.
         let pfns: Vec<Pfn> = (0..8)
-            .map(|i| m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon).unwrap())
+            .map(|i| {
+                m.alloc_and_map(NodeId(1), Pid(1), Vpn(i), PageType::Anon)
+                    .unwrap()
+            })
             .collect();
         let mut promoted = 0;
         for pfn in pfns {
-            let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: 100, rng: &mut rng };
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 100,
+                rng: &mut rng,
+            };
             if p.on_hint_fault(&mut ctx, pfn) > 0 {
                 promoted += 1;
             }
@@ -502,7 +638,9 @@ mod tests {
         assert_eq!(promoted, 3, "only the budgeted pages may promote");
         assert!(m.vmstat().get(VmEvent::PgPromoteFailSystem) >= 5);
         // A second later the bucket refills.
-        let pfn = m.alloc_and_map(NodeId(1), Pid(1), Vpn(100), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(1), Pid(1), Vpn(100), PageType::Anon)
+            .unwrap();
         let mut ctx = PolicyCtx {
             memory: &mut m,
             latency: &lat,
@@ -516,19 +654,28 @@ mod tests {
     #[test]
     fn coupled_ablation_behaves_like_late_reclaim() {
         let (mut m, lat, mut rng) = setup(256, 1024);
-        let mut p = Tpp::with_config(TppConfig { decouple: false, ..TppConfig::default() });
+        let mut p = Tpp::with_config(TppConfig {
+            decouple: false,
+            ..TppConfig::default()
+        });
         // Fill to just below the demote trigger but above the classic low
         // watermark: decoupled TPP would demote; coupled must not.
         let trigger = m.node(NodeId(0)).watermarks().demote_trigger;
         for i in 0..(256 - trigger - 1) {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                .unwrap();
         }
         tick(&mut p, &mut m, &lat, &mut rng, 0);
-        assert_eq!(m.vmstat().demoted_total(), 0, "coupled TPP must not demote early");
+        assert_eq!(
+            m.vmstat().demoted_total(),
+            0,
+            "coupled TPP must not demote early"
+        );
         let low = m.node(NodeId(0)).watermarks().base.low;
         let more = m.free_pages(NodeId(0)) - low + 1;
         for i in 0..more {
-            m.alloc_and_map(NodeId(0), Pid(1), Vpn(5000 + i), PageType::File).unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(5000 + i), PageType::File)
+                .unwrap();
         }
         tick(&mut p, &mut m, &lat, &mut rng, 50 * MS);
         assert!(m.vmstat().demoted_total() > 0, "below low it must demote");

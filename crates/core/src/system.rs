@@ -3,7 +3,7 @@
 //! accounting every nanosecond of memory stall back into application
 //! throughput.
 
-use tiered_mem::{Memory, PageFlags, PageLocation, Pfn, VmEvent};
+use tiered_mem::{EventSink, Memory, PageFlags, PageLocation, Pfn, TraceEvent};
 use tiered_sim::{
     Access, AccessKind, AccessObserver, LatencyModel, NullObserver, Periodic, SimClock, SimRng,
     Workload, WorkloadEvent,
@@ -75,6 +75,19 @@ impl System {
         self.latency = latency;
     }
 
+    /// Attaches a telemetry sink to the machine: every counted memory
+    /// event is also emitted as a timestamped trace record. Disabled by
+    /// default (`NullSink`), in which case runs are bit-identical to
+    /// untraced ones.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.memory.set_event_sink(sink);
+    }
+
+    /// Flushes the attached telemetry sink (for file-backed sinks).
+    pub fn flush_trace(&mut self) {
+        self.memory.flush_trace();
+    }
+
     /// The machine state.
     pub fn memory(&self) -> &Memory {
         &self.memory
@@ -106,6 +119,7 @@ impl System {
         let end = self.clock.now_ns() + duration_ns;
         while self.clock.now_ns() < end {
             let now = self.clock.now_ns();
+            self.memory.set_trace_now(now);
             let op = self.workload.next_op(now, &mut self.rng);
             let mut mem_ns = 0u64;
             for event in &op.events {
@@ -122,6 +136,7 @@ impl System {
             self.clock.advance(op_ns.max(1));
             self.metrics.note_op(op_ns, mem_ns);
             let now = self.clock.now_ns();
+            self.memory.set_trace_now(now);
             // Daemon wakeups (capped catch-up after long ops).
             let fires = self.daemon_timer.fire(now).min(4);
             for _ in 0..fires {
@@ -142,12 +157,7 @@ impl System {
     /// Resolves one access: fault if unmapped/swapped, hint-fault
     /// handling, reference bookkeeping. Returns the latency charged to
     /// the op.
-    fn execute_access(
-        &mut self,
-        now: u64,
-        access: &Access,
-        obs: &mut dyn AccessObserver,
-    ) -> u64 {
+    fn execute_access(&mut self, now: u64, access: &Access, obs: &mut dyn AccessObserver) -> u64 {
         let mut cost = 0u64;
         let mut pfn = match self.memory.space(access.pid).translate(access.vpn) {
             Some(PageLocation::Mapped(pfn)) => pfn,
@@ -158,21 +168,31 @@ impl System {
                     now_ns: now,
                     rng: &mut self.rng,
                 };
-                let out = self
-                    .policy
-                    .handle_fault(&mut ctx, access.pid, access.vpn, access.page_type);
+                let out =
+                    self.policy
+                        .handle_fault(&mut ctx, access.pid, access.vpn, access.page_type);
                 cost += out.cost_ns;
                 out.pfn
             }
         };
         // NUMA hint fault?
-        if self.memory.frames().frame(pfn).flags().contains(PageFlags::HINTED) {
+        if self
+            .memory
+            .frames()
+            .frame(pfn)
+            .flags()
+            .contains(PageFlags::HINTED)
+        {
             self.memory
                 .frames_mut()
                 .frame_mut(pfn)
                 .flags_mut()
                 .remove(PageFlags::HINTED);
-            self.memory.vmstat_mut().count(VmEvent::NumaHintFaults);
+            let hint_node = self.memory.frames().frame(pfn).node();
+            self.memory.record(TraceEvent::HintFault {
+                page: tiered_mem::PageKey::new(access.pid, access.vpn),
+                node: hint_node,
+            });
             cost += self.latency.hint_fault_ns;
             let mut ctx = PolicyCtx {
                 memory: &mut self.memory,

@@ -201,7 +201,11 @@ impl FrameTable {
             next += cap as u32;
         }
         node_start.push(next);
-        FrameTable { frames, node_start, free_lists }
+        FrameTable {
+            frames,
+            node_start,
+            free_lists,
+        }
     }
 
     /// Number of memory nodes.

@@ -19,7 +19,10 @@
 //! * a **migration engine** and a slow **swap device**
 //!   ([`Memory::migrate_page`], [`SwapDevice`]),
 //! * `/proc/vmstat`-style **event counters** including all of TPP's new
-//!   observability counters ([`VmStat`], [`VmEvent`]).
+//!   observability counters ([`VmStat`], [`VmEvent`]),
+//! * structured **event tracing** beneath the counters: every counted
+//!   mutation can also emit a timestamped [`TraceEvent`] through a
+//!   pluggable [`EventSink`] ([`telemetry`]).
 //!
 //! Everything is *mechanism*; placement *policy* (when to demote, what to
 //! promote) lives in the `tpp` crate.
@@ -54,6 +57,7 @@ mod memory;
 mod node;
 mod page_table;
 mod swap;
+pub mod telemetry;
 mod types;
 mod vmstat;
 mod watermark;
@@ -66,9 +70,12 @@ pub use memory::{Memory, MemoryBuilder};
 pub use node::{MemoryNode, NodeKind};
 pub use page_table::{AddressSpace, PageLocation};
 pub use swap::{SwapDevice, SwapSlot};
+pub use telemetry::{
+    EventSink, NullSink, PromoteFailReason, PromoteSkipReason, RingSink, TeeSink, TraceEvent,
+    TraceRecord, WriterSink,
+};
 pub use types::{
-    mib_from_pages, pages_from_mib, NodeId, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB,
-    PAGE_SIZE,
+    mib_from_pages, pages_from_mib, NodeId, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB, PAGE_SIZE,
 };
 pub use vmstat::{VmEvent, VmStat};
 pub use watermark::{TppWatermarks, Watermarks, DEFAULT_DEMOTE_SCALE_BP};

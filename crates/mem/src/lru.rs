@@ -6,8 +6,8 @@
 //! inactive tails, §5.1) and TPP's promotion filter (only pages found on an
 //! *active* list are promoted, §5.3).
 
-use crate::frame::FrameTable;
 use crate::flags::PageFlags;
+use crate::frame::FrameTable;
 use crate::types::{NodeId, PageType, Pfn};
 
 /// Which of the four LRU lists a page is on.
@@ -84,7 +84,11 @@ struct ListHead {
 
 impl ListHead {
     const fn empty() -> ListHead {
-        ListHead { head: Pfn::NONE, tail: Pfn::NONE, len: 0 }
+        ListHead {
+            head: Pfn::NONE,
+            tail: Pfn::NONE,
+            len: 0,
+        }
     }
 }
 
@@ -115,7 +119,10 @@ pub struct NodeLru {
 impl NodeLru {
     /// Creates empty LRU lists for `node`.
     pub fn new(node: NodeId) -> NodeLru {
-        NodeLru { node, lists: [ListHead::empty(); 4] }
+        NodeLru {
+            node,
+            lists: [ListHead::empty(); 4],
+        }
     }
 
     /// The node these lists belong to.
@@ -178,7 +185,11 @@ impl NodeLru {
             let frame = ft.frame(pfn);
             assert!(frame.is_allocated(), "{pfn} linked while free");
             assert_eq!(frame.node(), self.node, "{pfn} belongs to another node");
-            assert!(frame.lru_kind().is_none(), "{pfn} already on {:?}", frame.lru_kind());
+            assert!(
+                frame.lru_kind().is_none(),
+                "{pfn} already on {:?}",
+                frame.lru_kind()
+            );
             debug_assert_eq!(
                 frame.page_type().is_anon(),
                 kind.is_anon(),
@@ -244,7 +255,11 @@ impl NodeLru {
     /// Peeks at the coldest (tail) page of `kind` without unlinking it.
     pub fn peek_back(&self, kind: LruKind) -> Option<Pfn> {
         let list = &self.lists[kind.idx()];
-        if list.len == 0 { None } else { Some(Pfn(list.tail)) }
+        if list.len == 0 {
+            None
+        } else {
+            Some(Pfn(list.tail))
+        }
     }
 
     /// Unlinks and returns the coldest (tail) page of `kind`.
@@ -335,7 +350,11 @@ impl NodeLru {
     pub fn validate(&self, ft: &FrameTable) {
         for kind in LruKind::ALL {
             let pages = self.collect(ft, kind);
-            assert_eq!(pages.len() as u64, self.len(kind), "len mismatch on {kind:?}");
+            assert_eq!(
+                pages.len() as u64,
+                self.len(kind),
+                "len mismatch on {kind:?}"
+            );
             let mut prev = Pfn::NONE;
             for &pfn in &pages {
                 let frame = ft.frame(pfn);
@@ -380,7 +399,10 @@ mod tests {
         for &pfn in &p {
             lru.push_front(&mut ft, LruKind::AnonInactive, pfn);
         }
-        assert_eq!(lru.collect(&ft, LruKind::AnonInactive), vec![p[2], p[1], p[0]]);
+        assert_eq!(
+            lru.collect(&ft, LruKind::AnonInactive),
+            vec![p[2], p[1], p[0]]
+        );
         lru.validate(&ft);
     }
 
@@ -458,7 +480,10 @@ mod tests {
             lru.push_front(&mut ft, LruKind::AnonInactive, pfn);
         }
         lru.move_to_front(&mut ft, p[0]);
-        assert_eq!(lru.collect(&ft, LruKind::AnonInactive), vec![p[0], p[2], p[1]]);
+        assert_eq!(
+            lru.collect(&ft, LruKind::AnonInactive),
+            vec![p[0], p[2], p[1]]
+        );
         lru.validate(&ft);
     }
 
@@ -501,7 +526,10 @@ mod tests {
     #[test]
     fn kind_helpers() {
         assert_eq!(LruKind::for_page(PageType::Anon, true), LruKind::AnonActive);
-        assert_eq!(LruKind::for_page(PageType::Tmpfs, false), LruKind::FileInactive);
+        assert_eq!(
+            LruKind::for_page(PageType::Tmpfs, false),
+            LruKind::FileInactive
+        );
         assert_eq!(LruKind::AnonActive.counterpart(), LruKind::AnonInactive);
         assert_eq!(LruKind::FileInactive.counterpart(), LruKind::FileActive);
         assert!(LruKind::FileActive.is_active());

@@ -8,6 +8,7 @@
 //! exposed as data; the `tpp` crate's policies make the decisions.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::error::{AllocError, MigrateError, SwapError};
 use crate::flags::PageFlags;
@@ -16,6 +17,7 @@ use crate::lru::LruKind;
 use crate::node::{MemoryNode, NodeKind};
 use crate::page_table::{AddressSpace, PageLocation};
 use crate::swap::{SwapDevice, SwapSlot};
+use crate::telemetry::{EventSink, NullSink, TraceEvent, TraceRecord};
 use crate::types::{NodeId, PageKey, PageType, Pfn, Pid, Vpn};
 use crate::vmstat::{VmEvent, VmStat};
 use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
@@ -143,12 +145,14 @@ impl MemoryBuilder {
             vmstat: VmStat::new(),
             shadows: HashMap::new(),
             eviction_clocks: vec![0; node_count],
+            sink: Box::new(NullSink),
+            trace_enabled: false,
+            trace_now_ns: 0,
         }
     }
 }
 
 /// The complete memory subsystem of one simulated machine.
-#[derive(Clone, Debug)]
 pub struct Memory {
     frames: FrameTable,
     nodes: Vec<MemoryNode>,
@@ -159,6 +163,47 @@ pub struct Memory {
     shadows: HashMap<PageKey, Shadow>,
     /// Per-node eviction clocks (file pages dropped so far).
     eviction_clocks: Vec<u64>,
+    /// Trace destination; [`NullSink`] by default.
+    sink: Box<dyn EventSink>,
+    /// Cached `sink.enabled()` so the disabled path is one branch.
+    trace_enabled: bool,
+    /// Simulation time stamped onto emitted records.
+    trace_now_ns: u64,
+}
+
+impl Clone for Memory {
+    /// Clones the full memory state. The event sink is *not* cloned —
+    /// sinks are attached per run, so the clone starts on [`NullSink`].
+    fn clone(&self) -> Memory {
+        Memory {
+            frames: self.frames.clone(),
+            nodes: self.nodes.clone(),
+            spaces: self.spaces.clone(),
+            swap: self.swap.clone(),
+            vmstat: self.vmstat.clone(),
+            shadows: self.shadows.clone(),
+            eviction_clocks: self.eviction_clocks.clone(),
+            sink: Box::new(NullSink),
+            trace_enabled: false,
+            trace_now_ns: self.trace_now_ns,
+        }
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("frames", &self.frames)
+            .field("nodes", &self.nodes)
+            .field("spaces", &self.spaces)
+            .field("swap", &self.swap)
+            .field("vmstat", &self.vmstat)
+            .field("shadows", &self.shadows)
+            .field("eviction_clocks", &self.eviction_clocks)
+            .field("trace_enabled", &self.trace_enabled)
+            .field("trace_now_ns", &self.trace_now_ns)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Memory {
@@ -292,6 +337,57 @@ impl Memory {
         &mut self.vmstat
     }
 
+    // ----- telemetry ------------------------------------------------------
+
+    /// Attaches a trace sink. All subsequent [`Memory::record`] calls
+    /// emit timestamped records into it; pass [`NullSink`] to disable
+    /// tracing again. Counters are bumped either way.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.trace_enabled = sink.enabled();
+        self.sink = sink;
+    }
+
+    /// Whether a real (non-null) sink is attached.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Sets the simulation time stamped onto subsequently emitted trace
+    /// records. Run loops call this once per event-loop step.
+    #[inline]
+    pub fn set_trace_now(&mut self, now_ns: u64) {
+        self.trace_now_ns = now_ns;
+    }
+
+    /// Current trace timestamp.
+    #[inline]
+    pub fn trace_now(&self) -> u64 {
+        self.trace_now_ns
+    }
+
+    /// Records one structured event: bumps every vmstat counter the event
+    /// implies ([`TraceEvent::count_into`]) and, if a sink is attached,
+    /// emits the record stamped with the current trace time.
+    ///
+    /// This is the single entry point for counted mutations, so the trace
+    /// and the counters agree by construction.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        event.count_into(&mut self.vmstat);
+        if self.trace_enabled {
+            self.sink.emit(&TraceRecord {
+                ts_ns: self.trace_now_ns,
+                event,
+            });
+        }
+    }
+
+    /// Flushes the attached sink (meaningful for file-backed sinks).
+    pub fn flush_trace(&mut self) {
+        self.sink.flush();
+    }
+
     // ----- processes ------------------------------------------------------
 
     /// Registers a new process.
@@ -315,7 +411,9 @@ impl Memory {
     ///
     /// Panics if the pid is unknown.
     pub fn space(&self, pid: Pid) -> &AddressSpace {
-        self.spaces.get(&pid).unwrap_or_else(|| panic!("unknown {pid}"))
+        self.spaces
+            .get(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"))
     }
 
     /// All registered pids, sorted (deterministic iteration).
@@ -331,7 +429,10 @@ impl Memory {
     ///
     /// Panics if the pid is unknown.
     pub fn destroy_process(&mut self, pid: Pid) {
-        let space = self.spaces.remove(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        let space = self
+            .spaces
+            .remove(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"));
         self.shadows.retain(|key, _| key.pid != pid);
         for (_, loc) in space.iter() {
             match loc {
@@ -371,7 +472,10 @@ impl Memory {
         vpn: Vpn,
         page_type: PageType,
     ) -> Result<Pfn, AllocError> {
-        let space = self.spaces.get_mut(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        let space = self
+            .spaces
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"));
         assert!(
             space.translate(vpn).is_none(),
             "{pid}:{vpn} is already backed"
@@ -387,11 +491,9 @@ impl Memory {
         if let Some(shadow) = self.shadows.remove(&key) {
             if page_type.is_file_backed() {
                 self.vmstat.count(VmEvent::WorkingsetRefault);
-                let distance = self.eviction_clocks[shadow.node.index()]
-                    .saturating_sub(shadow.eviction_clock);
-                let active_file = self.nodes[shadow.node.index()]
-                    .lru
-                    .len(LruKind::FileActive)
+                let distance =
+                    self.eviction_clocks[shadow.node.index()].saturating_sub(shadow.eviction_clock);
+                let active_file = self.nodes[shadow.node.index()].lru.len(LruKind::FileActive)
                     + self.nodes[node.index()].lru.len(LruKind::FileActive);
                 if distance <= active_file {
                     active = true;
@@ -400,11 +502,13 @@ impl Memory {
             }
         }
         let kind = LruKind::for_page(page_type, active);
-        self.nodes[node.index()].lru.push_front(&mut self.frames, kind, pfn);
+        self.nodes[node.index()]
+            .lru
+            .push_front(&mut self.frames, kind, pfn);
         if self.nodes[node.index()].is_cpu_less() {
-            self.vmstat.count(VmEvent::PgAllocRemote);
+            self.record(TraceEvent::AllocRemote { page: key, node });
         } else {
-            self.vmstat.count(VmEvent::PgAllocLocal);
+            self.record(TraceEvent::AllocLocal { page: key, node });
         }
         Ok(pfn)
     }
@@ -416,7 +520,10 @@ impl Memory {
     ///
     /// Panics if the pid is unknown.
     pub fn release(&mut self, pid: Pid, vpn: Vpn) -> bool {
-        let space = self.spaces.get_mut(&pid).unwrap_or_else(|| panic!("unknown {pid}"));
+        let space = self
+            .spaces
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"));
         match space.unmap(vpn) {
             Some(PageLocation::Mapped(pfn)) => {
                 let nid = self.frames.frame(pfn).node();
@@ -472,7 +579,10 @@ impl Memory {
         let new_pfn = match self.frames.alloc(dst, owner, page_type) {
             Ok(p) => p,
             Err(AllocError::NoMemory { .. }) | Err(AllocError::InvalidNode { .. }) => {
-                self.vmstat.count(VmEvent::PgMigrateFail);
+                self.record(TraceEvent::MigrateFail {
+                    page: owner,
+                    to: dst,
+                });
                 return Err(MigrateError::DstNoMemory { node: dst });
             }
         };
@@ -490,14 +600,20 @@ impl Memory {
             frame.set_last_access_ns(last_access);
         }
         if let Some(kind) = lru_kind {
-            self.nodes[dst.index()].lru.push_front(&mut self.frames, kind, new_pfn);
+            self.nodes[dst.index()]
+                .lru
+                .push_front(&mut self.frames, kind, new_pfn);
         }
         let space = self
             .spaces
             .get_mut(&owner.pid)
             .unwrap_or_else(|| panic!("owner {} vanished", owner.pid));
         space.map(owner.vpn, new_pfn);
-        self.vmstat.count(VmEvent::PgMigrateSuccess);
+        self.record(TraceEvent::Migrate {
+            page: owner,
+            from: src,
+            to: dst,
+        });
         Ok(new_pfn)
     }
 
@@ -526,7 +642,10 @@ impl Memory {
             .get_mut(&owner.pid)
             .unwrap_or_else(|| panic!("owner {} vanished", owner.pid));
         space.set_swapped(owner.vpn, slot);
-        self.vmstat.count(VmEvent::PswpOut);
+        self.record(TraceEvent::SwapOut {
+            page: owner,
+            node: nid,
+        });
         Ok(slot)
     }
 
@@ -557,11 +676,18 @@ impl Memory {
         self.swap
             .swap_in(slot)
             .expect("swap slot vanished while mapped");
-        self.spaces.get_mut(&pid).expect("space vanished").map(vpn, pfn);
+        self.spaces
+            .get_mut(&pid)
+            .expect("space vanished")
+            .map(vpn, pfn);
         let kind = LruKind::for_page(page_type, false);
-        self.nodes[node.index()].lru.push_front(&mut self.frames, kind, pfn);
-        self.vmstat.count(VmEvent::PswpIn);
-        self.vmstat.count(VmEvent::PgMajFault);
+        self.nodes[node.index()]
+            .lru
+            .push_front(&mut self.frames, kind, pfn);
+        self.record(TraceEvent::SwapIn {
+            page: PageKey::new(pid, vpn),
+            node,
+        });
         Ok(pfn)
     }
 
@@ -573,7 +699,9 @@ impl Memory {
     /// Panics if the frame is free or not file-backed.
     pub fn drop_file_page(&mut self, pfn: Pfn) {
         let frame = self.frames.frame(pfn);
-        let owner = frame.owner().unwrap_or_else(|| panic!("drop of free {pfn}"));
+        let owner = frame
+            .owner()
+            .unwrap_or_else(|| panic!("drop of free {pfn}"));
         assert!(
             frame.page_type().is_file_backed(),
             "{pfn} is anon; anon pages must be swapped, not dropped"
@@ -588,9 +716,15 @@ impl Memory {
         self.eviction_clocks[nid.index()] += 1;
         self.shadows.insert(
             owner,
-            Shadow { node: nid, eviction_clock: self.eviction_clocks[nid.index()] },
+            Shadow {
+                node: nid,
+                eviction_clock: self.eviction_clocks[nid.index()],
+            },
         );
-        self.vmstat.count(VmEvent::PgDropFile);
+        self.record(TraceEvent::FileDrop {
+            page: owner,
+            node: nid,
+        });
     }
 
     // ----- LRU convenience (counted) ---------------------------------------
@@ -608,7 +742,9 @@ impl Memory {
     pub fn deactivate_page(&mut self, pfn: Pfn) {
         let nid = self.frames.frame(pfn).node();
         if self.frames.frame(pfn).lru_kind().map(|k| k.is_active()) == Some(true) {
-            self.nodes[nid.index()].lru.deactivate(&mut self.frames, pfn);
+            self.nodes[nid.index()]
+                .lru
+                .deactivate(&mut self.frames, pfn);
             self.vmstat.count(VmEvent::PgDeactivate);
         }
     }
@@ -617,7 +753,9 @@ impl Memory {
     pub fn rotate_page(&mut self, pfn: Pfn) {
         let nid = self.frames.frame(pfn).node();
         if self.frames.frame(pfn).lru_kind().is_some() {
-            self.nodes[nid.index()].lru.move_to_front(&mut self.frames, pfn);
+            self.nodes[nid.index()]
+                .lru
+                .move_to_front(&mut self.frames, pfn);
         }
     }
 
@@ -668,7 +806,13 @@ impl Memory {
             for kind in LruKind::ALL {
                 on_lists += n.lru.len(kind);
             }
-            assert_eq!(on_lists, used, "{}: {} pages off-LRU", n.id(), used - on_lists);
+            assert_eq!(
+                on_lists,
+                used,
+                "{}: {} pages off-LRU",
+                n.id(),
+                used - on_lists
+            );
         }
         // 4. Page-table ↔ frame-owner bijection.
         let mut mapped = 0u64;
@@ -733,19 +877,32 @@ mod tests {
             .node(NodeKind::Cxl, 16)
             .node(NodeKind::Cxl, 16)
             .build();
-        assert_eq!(m.fallback_order(NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
-        assert_eq!(m.fallback_order(NodeId(2)), vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            m.fallback_order(NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            m.fallback_order(NodeId(2)),
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
     }
 
     #[test]
     fn alloc_and_map_places_new_pages_on_correct_lru() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let anon = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        let file = m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::File).unwrap();
+        let anon = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let file = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::File)
+            .unwrap();
         // Kernel convention: new anon → active, new file → inactive.
         assert_eq!(m.frames().frame(anon).lru_kind(), Some(LruKind::AnonActive));
-        assert_eq!(m.frames().frame(file).lru_kind(), Some(LruKind::FileInactive));
+        assert_eq!(
+            m.frames().frame(file).lru_kind(),
+            Some(LruKind::FileInactive)
+        );
         assert_eq!(m.vmstat().get(VmEvent::PgAllocLocal), 2);
         m.validate();
     }
@@ -754,7 +911,8 @@ mod tests {
     fn remote_allocation_counts_as_remote() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         assert_eq!(m.vmstat().get(VmEvent::PgAllocRemote), 1);
         assert_eq!(m.vmstat().get(VmEvent::PgAllocLocal), 0);
     }
@@ -763,8 +921,13 @@ mod tests {
     fn migrate_preserves_mapping_type_flags_and_lru_class() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(7), PageType::Anon).unwrap();
-        m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::DEMOTED);
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(7), PageType::Anon)
+            .unwrap();
+        m.frames_mut()
+            .frame_mut(pfn)
+            .flags_mut()
+            .insert(PageFlags::DEMOTED);
         let new = m.migrate_page(pfn, NodeId(1)).unwrap();
         assert_ne!(pfn, new);
         assert_eq!(m.frames().frame(new).node(), NodeId(1));
@@ -788,8 +951,11 @@ mod tests {
             .build();
         m.create_process(Pid(1));
         // Fill the CXL node.
-        m.alloc_and_map(NodeId(1), Pid(1), Vpn(100), PageType::Anon).unwrap();
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(100), PageType::Anon)
+            .unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         let err = m.migrate_page(pfn, NodeId(1)).unwrap_err();
         assert_eq!(err, MigrateError::DstNoMemory { node: NodeId(1) });
         // Source untouched.
@@ -805,12 +971,17 @@ mod tests {
     fn migrate_same_node_and_unevictable_rejected() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
         assert_eq!(
             m.migrate_page(pfn, NodeId(0)),
             Err(MigrateError::SameNode { node: NodeId(0) })
         );
-        m.frames_mut().frame_mut(pfn).flags_mut().insert(PageFlags::UNEVICTABLE);
+        m.frames_mut()
+            .frame_mut(pfn)
+            .flags_mut()
+            .insert(PageFlags::UNEVICTABLE);
         assert_eq!(
             m.migrate_page(pfn, NodeId(1)),
             Err(MigrateError::Unevictable { pfn })
@@ -821,7 +992,9 @@ mod tests {
     fn swap_out_and_in_round_trip() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon)
+            .unwrap();
         let slot = m.swap_out(pfn).unwrap();
         assert_eq!(m.free_pages(NodeId(0)), 64);
         assert_eq!(
@@ -829,7 +1002,9 @@ mod tests {
             Some(PageLocation::Swapped(slot))
         );
         m.validate();
-        let back = m.swap_in(Pid(1), Vpn(3), NodeId(0), PageType::Anon).unwrap();
+        let back = m
+            .swap_in(Pid(1), Vpn(3), NodeId(0), PageType::Anon)
+            .unwrap();
         assert_eq!(
             m.space(Pid(1)).translate(Vpn(3)),
             Some(PageLocation::Mapped(back))
@@ -844,7 +1019,9 @@ mod tests {
     fn drop_file_page_unmaps_entirely() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File)
+            .unwrap();
         m.drop_file_page(pfn);
         assert_eq!(m.space(Pid(1)).translate(Vpn(3)), None);
         assert_eq!(m.vmstat().get(VmEvent::PgDropFile), 1);
@@ -856,7 +1033,9 @@ mod tests {
     fn drop_anon_page_panics() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::Anon)
+            .unwrap();
         m.drop_file_page(pfn);
     }
 
@@ -864,8 +1043,11 @@ mod tests {
     fn destroy_process_releases_everything() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn0 = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::File).unwrap();
+        let pfn0 = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::File)
+            .unwrap();
         m.swap_out(pfn0).unwrap();
         m.destroy_process(Pid(1));
         assert_eq!(m.free_pages(NodeId(0)), 64);
@@ -878,7 +1060,9 @@ mod tests {
     fn activate_deactivate_rotate_count_events() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File)
+            .unwrap();
         m.activate_page(pfn);
         assert_eq!(m.frames().frame(pfn).lru_kind(), Some(LruKind::FileActive));
         m.activate_page(pfn); // idempotent, no double count
@@ -893,14 +1077,20 @@ mod tests {
     fn workingset_refault_reactivates_recent_evictions() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        let pfn = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File)
+            .unwrap();
         // Keep an active file page around so the refault distance test
         // has a non-empty active list to compare against.
-        let keeper = m.alloc_and_map(NodeId(0), Pid(1), Vpn(4), PageType::File).unwrap();
+        let keeper = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(4), PageType::File)
+            .unwrap();
         m.activate_page(keeper);
         m.drop_file_page(pfn);
         // Refault immediately: distance 0 <= active_file → activated.
-        let back = m.alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File).unwrap();
+        let back = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(3), PageType::File)
+            .unwrap();
         assert_eq!(m.frames().frame(back).lru_kind(), Some(LruKind::FileActive));
         assert_eq!(m.vmstat().get(VmEvent::WorkingsetRefault), 1);
         assert_eq!(m.vmstat().get(VmEvent::WorkingsetActivate), 1);
@@ -909,19 +1099,26 @@ mod tests {
 
     #[test]
     fn distant_refault_stays_inactive() {
-        let mut m = Memory::builder()
-            .node(NodeKind::LocalDram, 64)
-            .build();
+        let mut m = Memory::builder().node(NodeKind::LocalDram, 64).build();
         m.create_process(Pid(1));
-        let victim = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
+        let victim = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File)
+            .unwrap();
         m.drop_file_page(victim);
         // Push the eviction clock far past the (empty) active list.
         for i in 1..20u64 {
-            let p = m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
+            let p = m
+                .alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                .unwrap();
             m.drop_file_page(p);
         }
-        let back = m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File).unwrap();
-        assert_eq!(m.frames().frame(back).lru_kind(), Some(LruKind::FileInactive));
+        let back = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::File)
+            .unwrap();
+        assert_eq!(
+            m.frames().frame(back).lru_kind(),
+            Some(LruKind::FileInactive)
+        );
         assert_eq!(m.vmstat().get(VmEvent::WorkingsetActivate), 0);
         assert!(m.vmstat().get(VmEvent::WorkingsetRefault) >= 1);
     }
@@ -931,9 +1128,12 @@ mod tests {
         let mut m = two_node();
         m.create_process(Pid(1));
         m.create_process(Pid(2));
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon).unwrap();
-        m.alloc_and_map(NodeId(1), Pid(2), Vpn(0), PageType::File).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(1), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(1), Pid(2), Vpn(0), PageType::File)
+            .unwrap();
         assert_eq!(m.usage_by_pid(Pid(1)), vec![1, 1]);
         assert_eq!(m.usage_by_pid(Pid(2)), vec![0, 1]);
     }
@@ -942,9 +1142,12 @@ mod tests {
     fn node_usage_splits_by_class() {
         let mut m = two_node();
         m.create_process(Pid(1));
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon).unwrap();
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::Tmpfs).unwrap();
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(2), PageType::File).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::Tmpfs)
+            .unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(2), PageType::File)
+            .unwrap();
         assert_eq!(m.node_usage(NodeId(0)), (1, 2));
     }
 }

@@ -127,7 +127,10 @@ mod tests {
         assert!(NodeKind::Cxl.default_latency_ns() > NodeKind::LocalDram.default_latency_ns());
         let extra = NodeKind::Cxl.default_latency_ns() - NodeKind::LocalDram.default_latency_ns();
         // Paper: CXL adds ~50–100 ns over normal DRAM access.
-        assert!((50..=100).contains(&extra), "extra latency {extra} out of range");
+        assert!(
+            (50..=100).contains(&extra),
+            "extra latency {extra} out of range"
+        );
     }
 
     #[test]

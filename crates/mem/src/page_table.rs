@@ -49,7 +49,12 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space for `pid`.
     pub fn new(pid: Pid) -> AddressSpace {
-        AddressSpace { pid, map: HashMap::new(), resident: 0, swapped: 0 }
+        AddressSpace {
+            pid,
+            map: HashMap::new(),
+            resident: 0,
+            swapped: 0,
+        }
     }
 
     /// The owning process.
@@ -185,10 +190,7 @@ mod tests {
         for v in [9u64, 3, 7, 1] {
             s.map(Vpn(v), Pfn(v as u32));
         }
-        assert_eq!(
-            s.sorted_vpns(),
-            vec![Vpn(1), Vpn(3), Vpn(7), Vpn(9)]
-        );
+        assert_eq!(s.sorted_vpns(), vec![Vpn(1), Vpn(3), Vpn(7), Vpn(9)]);
     }
 
     #[test]

@@ -212,10 +212,7 @@ mod tests {
         assert_eq!(Pfn(7).to_string(), "pfn#7");
         assert_eq!(NodeId(1).to_string(), "node1");
         assert_eq!(Vpn(0x10).to_string(), "vpn#0x10");
-        assert_eq!(
-            PageKey::new(Pid(3), Vpn(16)).to_string(),
-            "pid3:vpn#0x10"
-        );
+        assert_eq!(PageKey::new(Pid(3), Vpn(16)).to_string(), "pid3:vpn#0x10");
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl Watermarks {
     /// Watermarks that never trigger (all zero); useful for nodes whose
     /// allocations are not performance-critical in tests.
     pub fn disabled() -> Watermarks {
-        Watermarks { min: 0, low: 0, high: 0 }
+        Watermarks {
+            min: 0,
+            low: 0,
+            high: 0,
+        }
     }
 
     /// Whether an ordinary allocation may proceed with `free` pages left.
@@ -153,7 +157,11 @@ mod tests {
             let wm = Watermarks::for_capacity(cap);
             assert!(wm.min < wm.low, "cap={cap}");
             assert!(wm.low < wm.high, "cap={cap}");
-            assert!(wm.high < cap.max(16), "cap={cap}: high {} too large", wm.high);
+            assert!(
+                wm.high < cap.max(16),
+                "cap={cap}: high {} too large",
+                wm.high
+            );
         }
     }
 

@@ -1,13 +1,30 @@
-//! Property-based tests for the memory substrate: arbitrary operation
+//! Property-style tests for the memory substrate: arbitrary operation
 //! sequences must never break the cross-structure invariants that
 //! `Memory::validate` checks (frame accounting, LRU partition, page-table
 //! ↔ rmap bijection, swap-slot consistency).
+//!
+//! `tiered-mem` is dependency-free, so randomised sequences come from a
+//! local SplitMix64 generator instead of proptest; every case is a pure
+//! function of its seed.
 
-use proptest::prelude::*;
+use tiered_mem::{LruKind, Memory, NodeId, NodeKind, PageLocation, PageType, Pfn, Pid, Vpn};
 
-use tiered_mem::{
-    LruKind, Memory, NodeId, NodeKind, PageLocation, PageType, Pfn, Pid, Vpn,
-};
+/// Minimal deterministic generator for test sequences (SplitMix64).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 /// One step of a random workload against the substrate.
 #[derive(Clone, Debug)]
@@ -23,18 +40,35 @@ enum Op {
     DropFile { vpn: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..2u8, 0..32u64, 0..3u8).prop_map(|(node, vpn, ptype)| Op::Map { node, vpn, ptype }),
-        (0..32u64).prop_map(|vpn| Op::Release { vpn }),
-        (0..32u64, 0..2u8).prop_map(|(vpn, dst)| Op::Migrate { vpn, dst }),
-        (0..32u64).prop_map(|vpn| Op::SwapOut { vpn }),
-        (0..32u64, 0..2u8).prop_map(|(vpn, node)| Op::SwapIn { vpn, node }),
-        (0..32u64).prop_map(|vpn| Op::Activate { vpn }),
-        (0..32u64).prop_map(|vpn| Op::Deactivate { vpn }),
-        (0..32u64).prop_map(|vpn| Op::Rotate { vpn }),
-        (0..32u64).prop_map(|vpn| Op::DropFile { vpn }),
-    ]
+fn random_op(rng: &mut TestRng) -> Op {
+    let vpn = rng.below(32);
+    match rng.below(9) {
+        0 => Op::Map {
+            node: rng.below(2) as u8,
+            vpn,
+            ptype: rng.below(3) as u8,
+        },
+        1 => Op::Release { vpn },
+        2 => Op::Migrate {
+            vpn,
+            dst: rng.below(2) as u8,
+        },
+        3 => Op::SwapOut { vpn },
+        4 => Op::SwapIn {
+            vpn,
+            node: rng.below(2) as u8,
+        },
+        5 => Op::Activate { vpn },
+        6 => Op::Deactivate { vpn },
+        7 => Op::Rotate { vpn },
+        _ => Op::DropFile { vpn },
+    }
+}
+
+fn random_ops(seed: u64, max_len: u64) -> Vec<Op> {
+    let mut rng = TestRng(seed);
+    let len = 1 + rng.below(max_len);
+    (0..len).map(|_| random_op(&mut rng)).collect()
 }
 
 fn ptype_of(code: u8) -> PageType {
@@ -111,12 +145,11 @@ fn apply(m: &mut Memory, pid: Pid, op: &Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Any op sequence leaves all substrate invariants intact.
-    #[test]
-    fn random_ops_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// Any op sequence leaves all substrate invariants intact.
+#[test]
+fn random_ops_preserve_invariants() {
+    for seed in 0..128u64 {
+        let ops = random_ops(seed, 199);
         let mut m = small_memory();
         let pid = Pid(1);
         m.create_process(pid);
@@ -125,11 +158,14 @@ proptest! {
             m.validate();
         }
     }
+}
 
-    /// Free + used always equals capacity regardless of op order, and the
-    /// swap device never leaks slots after process destruction.
-    #[test]
-    fn teardown_releases_all_resources(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// Free + used always equals capacity regardless of op order, and the
+/// swap device never leaks slots after process destruction.
+#[test]
+fn teardown_releases_all_resources() {
+    for seed in 1000..1064u64 {
+        let ops = random_ops(seed, 149);
         let mut m = small_memory();
         let pid = Pid(1);
         m.create_process(pid);
@@ -137,17 +173,20 @@ proptest! {
             apply(&mut m, pid, op);
         }
         m.destroy_process(pid);
-        prop_assert_eq!(m.free_pages(NodeId(0)), 24);
-        prop_assert_eq!(m.free_pages(NodeId(1)), 24);
-        prop_assert_eq!(m.swap().used_slots(), 0);
+        assert_eq!(m.free_pages(NodeId(0)), 24, "seed {seed}");
+        assert_eq!(m.free_pages(NodeId(1)), 24, "seed {seed}");
+        assert_eq!(m.swap().used_slots(), 0, "seed {seed}");
     }
+}
 
-    /// Migration never changes what a process observes: the (vpn → type)
-    /// view is identical before and after a migration pass.
-    #[test]
-    fn migration_is_transparent_to_the_process(
-        vpns in prop::collection::btree_set(0..64u64, 1..24),
-    ) {
+/// Migration never changes what a process observes: the (vpn → type)
+/// view is identical before and after a migration pass.
+#[test]
+fn migration_is_transparent_to_the_process() {
+    for seed in 2000..2032u64 {
+        let mut rng = TestRng(seed);
+        let count = 1 + rng.below(23);
+        let vpns: std::collections::BTreeSet<u64> = (0..count).map(|_| rng.below(64)).collect();
         let mut m = small_memory();
         let pid = Pid(1);
         m.create_process(pid);
@@ -166,17 +205,20 @@ proptest! {
         }
         for &(vpn, ptype) in &view {
             let pfn = mapped_pfn(&m, pid, vpn).expect("mapping lost in migration");
-            prop_assert_eq!(m.frames().frame(pfn).page_type(), ptype);
-            prop_assert_eq!(m.frames().frame(pfn).owner().unwrap().vpn, vpn);
+            assert_eq!(m.frames().frame(pfn).page_type(), ptype);
+            assert_eq!(m.frames().frame(pfn).owner().unwrap().vpn, vpn);
         }
         m.validate();
     }
+}
 
-    /// LRU lists form a partition of each node's allocated pages: every
-    /// allocated frame is on exactly one list, with the class matching its
-    /// page type.
-    #[test]
-    fn lru_is_a_partition(ops in prop::collection::vec(op_strategy(), 1..150)) {
+/// LRU lists form a partition of each node's allocated pages: every
+/// allocated frame is on exactly one list, with the class matching its
+/// page type.
+#[test]
+fn lru_is_a_partition() {
+    for seed in 3000..3064u64 {
+        let ops = random_ops(seed, 149);
         let mut m = small_memory();
         let pid = Pid(1);
         m.create_process(pid);
@@ -188,12 +230,16 @@ proptest! {
             for kind in LruKind::ALL {
                 for pfn in m.node(node).lru.collect(m.frames(), kind) {
                     let f = m.frames().frame(pfn);
-                    prop_assert!(f.is_allocated());
-                    prop_assert_eq!(f.page_type().is_anon(), kind.is_anon());
+                    assert!(f.is_allocated());
+                    assert_eq!(f.page_type().is_anon(), kind.is_anon());
                     counted += 1;
                 }
             }
-            prop_assert_eq!(counted, m.frames().used_pages(node));
+            assert_eq!(
+                counted,
+                m.frames().used_pages(node),
+                "seed {seed} node {node:?}"
+            );
         }
     }
 }

@@ -82,7 +82,10 @@ impl Periodic {
     /// Panics if `period_ns` is zero.
     pub fn new(period_ns: u64) -> Periodic {
         assert!(period_ns > 0, "period must be positive");
-        Periodic { period_ns, next_ns: period_ns }
+        Periodic {
+            period_ns,
+            next_ns: period_ns,
+        }
     }
 
     /// The configured period.

@@ -42,3 +42,10 @@ pub use replay::{ParseTraceError, Trace, TraceRecord, TraceRecorder, TraceWorklo
 pub use rng::SimRng;
 pub use stats::{fraction, percentile, rate_per_sec, LogHistogram, TimeSeries};
 pub use trace::{Access, AccessKind, AccessObserver, NullObserver, Op, Workload, WorkloadEvent};
+
+/// Structured event telemetry for simulation runs, re-exported from
+/// [`tiered_mem::telemetry`]: kernel-style trace events ↔ vmstat counter
+/// parity, plus the null/ring/JSONL-writer sinks. Namespaced because the
+/// telemetry `TraceRecord` is distinct from the access-replay
+/// [`TraceRecord`] exported above.
+pub use tiered_mem::telemetry;

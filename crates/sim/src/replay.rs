@@ -129,7 +129,12 @@ impl FromStr for Trace {
             }
             records.push(TraceRecord {
                 now_ns,
-                access: Access { pid: Pid(pid), vpn: Vpn(vpn), kind, page_type },
+                access: Access {
+                    pid: Pid(pid),
+                    vpn: Vpn(vpn),
+                    kind,
+                    page_type,
+                },
             });
         }
         Ok(Trace { records })
@@ -152,7 +157,10 @@ impl TraceRecorder {
     /// A recorder that stops capturing after `limit` accesses (the run
     /// continues; excess accesses are simply not recorded).
     pub fn with_limit(limit: usize) -> TraceRecorder {
-        TraceRecorder { trace: Trace::new(), limit: Some(limit) }
+        TraceRecorder {
+            trace: Trace::new(),
+            limit: Some(limit),
+        }
     }
 
     /// Consumes the recorder, returning the captured trace.
@@ -173,7 +181,10 @@ impl AccessObserver for TraceRecorder {
                 return;
             }
         }
-        self.trace.records.push(TraceRecord { now_ns, access: *access });
+        self.trace.records.push(TraceRecord {
+            now_ns,
+            access: *access,
+        });
     }
 }
 
@@ -250,7 +261,10 @@ impl Workload for TraceWorkload {
             events.push(WorkloadEvent::Access(r.access));
             end_ts = start_ts;
         }
-        Op { cpu_ns: (end_ts - start_ts).max(1_000), events }
+        Op {
+            cpu_ns: (end_ts - start_ts).max(1_000),
+            events,
+        }
     }
 
     fn working_set_pages(&self) -> u64 {
@@ -344,7 +358,7 @@ mod tests {
         let op2 = w.next_op(0, &mut rng);
         assert_eq!(op2.access_count(), 2);
         assert_eq!(op2.cpu_ns, 1_000); // span 150 ns, floored
-        // Wraps around and keeps going.
+                                       // Wraps around and keeps going.
         let op3 = w.next_op(0, &mut rng);
         assert!(op3.access_count() >= 1);
     }

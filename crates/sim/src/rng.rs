@@ -3,9 +3,10 @@
 //! All stochastic behaviour (workload sampling, duty-cycling, jitter)
 //! flows through [`SimRng`], seeded explicitly, so every experiment is
 //! exactly reproducible.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a hand-rolled xoshiro256** seeded via SplitMix64
+//! (the reference seeding procedure), so the crate has no external
+//! dependencies and the stream is stable across toolchains.
 
 /// A seedable deterministic RNG with simulation-friendly helpers.
 ///
@@ -19,28 +20,77 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(a.range(0..100), b.range(0..100));
 /// ```
 #[derive(Clone, Debug)]
-pub struct SimRng(StdRng);
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+/// SplitMix64 step — used only to expand the 64-bit seed into the
+/// 256-bit xoshiro state (never produces the output stream itself).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> SimRng {
-        SimRng(StdRng::seed_from_u64(seed))
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
     }
 
     /// Derives an independent child RNG (for per-component streams that
     /// must not perturb each other's sequences).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed(self.0.gen())
+        SimRng::seed(self.next_u64())
+    }
+
+    /// The core xoshiro256** step: full-period 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample from `range`.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold) so the result is
+    /// exactly uniform over the span, not merely modulo-reduced.
     pub fn range(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.0.gen_range(range)
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        if span == 1 {
+            return range.start;
+        }
+        // Reject draws from the tail that would bias `% span`.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return range.start + x % span;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.0.gen()
+        // 53 high bits → the maximum precision an f64 mantissa can hold.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -96,7 +146,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed(1);
         let mut b = SimRng::seed(2);
-        let same = (0..32).filter(|_| a.range(0..u64::MAX) == b.range(0..u64::MAX)).count();
+        let same = (0..32)
+            .filter(|_| a.range(0..u64::MAX) == b.range(0..u64::MAX))
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -115,6 +167,27 @@ mod tests {
         for _ in 0..50 {
             assert!(!rng.chance(0.0));
             assert!(rng.chance(1.1));
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SimRng::seed(17);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn range_covers_small_spans_uniformly() {
+        let mut rng = SimRng::seed(23);
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            counts[rng.range(0..4) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1_700..2_300).contains(&c), "bucket {i} count {c}");
         }
     }
 

@@ -24,7 +24,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series called `name`.
     pub fn new(name: impl Into<String>) -> TimeSeries {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series name.
@@ -74,16 +77,18 @@ impl TimeSeries {
 
     /// Maximum value.
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Minimum value.
     pub fn min(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on sorted values.
@@ -134,7 +139,12 @@ pub struct LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> LogHistogram {
-        LogHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Records one value.

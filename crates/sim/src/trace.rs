@@ -60,7 +60,10 @@ pub struct Op {
 impl Op {
     /// An op with no memory events (pure compute).
     pub fn compute(cpu_ns: u64) -> Op {
-        Op { cpu_ns, events: Vec::new() }
+        Op {
+            cpu_ns,
+            events: Vec::new(),
+        }
     }
 
     /// Number of page accesses in this op.
@@ -126,7 +129,10 @@ mod tests {
             cpu_ns: 100,
             events: vec![
                 WorkloadEvent::Access(a),
-                WorkloadEvent::Free { pid: Pid(1), vpn: Vpn(3) },
+                WorkloadEvent::Free {
+                    pid: Pid(1),
+                    vpn: Vpn(3),
+                },
                 WorkloadEvent::Access(a),
             ],
         };

@@ -59,7 +59,15 @@ fn region(
 pub fn web(ws_pages: u64) -> WorkloadProfile {
     let anon_pages = ws_pages * 62 / 100;
     let file_pages = ws_pages * 38 / 100;
-    let mut anon = region(ANON_BASE_VPN, anon_pages, PageType::Anon, 0.15, 0.05, 0.9, 0.30);
+    let mut anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.15,
+        0.05,
+        0.9,
+        0.30,
+    );
     // Anon footprint starts at ~35% and surges to full size in ~12
     // seconds of simulated time — the paper's post-restart transient
     // (Figure 9a) compressed to the simulation's timescale. The surge
@@ -74,7 +82,15 @@ pub fn web(ws_pages: u64) -> WorkloadProfile {
     // on the CXL node under default Linux (§6.2.1).
     anon.frontier_weight = 0.45;
     anon.frontier_frac = 0.08;
-    let file = region(FILE_BASE_VPN, file_pages, PageType::File, 0.06, 0.02, 0.6, 0.30);
+    let file = region(
+        FILE_BASE_VPN,
+        file_pages,
+        PageType::File,
+        0.06,
+        0.02,
+        0.6,
+        0.30,
+    );
     WorkloadProfile {
         name: "web".into(),
         pid: Pid(1),
@@ -103,8 +119,24 @@ pub fn web(ws_pages: u64) -> WorkloadProfile {
 pub fn cache1(ws_pages: u64) -> WorkloadProfile {
     let anon_pages = ws_pages * 22 / 100;
     let tmpfs_pages = ws_pages * 78 / 100;
-    let anon = region(ANON_BASE_VPN, anon_pages, PageType::Anon, 0.20, 0.05, 0.9, 0.15);
-    let mut tmpfs = region(FILE_BASE_VPN, tmpfs_pages, PageType::Tmpfs, 0.13, 0.03, 0.7, 0.05);
+    let anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.20,
+        0.05,
+        0.9,
+        0.15,
+    );
+    let mut tmpfs = region(
+        FILE_BASE_VPN,
+        tmpfs_pages,
+        PageType::Tmpfs,
+        0.13,
+        0.03,
+        0.7,
+        0.05,
+    );
     tmpfs.tail_weight = 0.0008; // sporadic one-off look-ups across the store
     WorkloadProfile {
         name: "cache1".into(),
@@ -134,8 +166,24 @@ pub fn cache1(ws_pages: u64) -> WorkloadProfile {
 pub fn cache2(ws_pages: u64) -> WorkloadProfile {
     let anon_pages = ws_pages * 23 / 100;
     let tmpfs_pages = ws_pages * 77 / 100;
-    let anon = region(ANON_BASE_VPN, anon_pages, PageType::Anon, 0.37, 0.015, 0.8, 0.20);
-    let mut tmpfs = region(FILE_BASE_VPN, tmpfs_pages, PageType::Tmpfs, 0.15, 0.075, 0.7, 0.05);
+    let anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.37,
+        0.015,
+        0.8,
+        0.20,
+    );
+    let mut tmpfs = region(
+        FILE_BASE_VPN,
+        tmpfs_pages,
+        PageType::Tmpfs,
+        0.15,
+        0.075,
+        0.7,
+        0.05,
+    );
     tmpfs.tail_weight = 0.0008;
     WorkloadProfile {
         name: "cache2".into(),
@@ -165,8 +213,24 @@ pub fn cache2(ws_pages: u64) -> WorkloadProfile {
 pub fn data_warehouse(ws_pages: u64) -> WorkloadProfile {
     let anon_pages = ws_pages * 85 / 100;
     let file_pages = ws_pages * 15 / 100;
-    let anon = region(ANON_BASE_VPN, anon_pages, PageType::Anon, 0.10, 0.025, 0.7, 0.50);
-    let file = region(FILE_BASE_VPN, file_pages, PageType::File, 0.03, 0.005, 0.0, 0.90);
+    let anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.10,
+        0.025,
+        0.7,
+        0.50,
+    );
+    let file = region(
+        FILE_BASE_VPN,
+        file_pages,
+        PageType::File,
+        0.03,
+        0.005,
+        0.0,
+        0.90,
+    );
     WorkloadProfile {
         name: "data_warehouse".into(),
         pid: Pid(4),
@@ -192,10 +256,26 @@ pub fn data_warehouse(ws_pages: u64) -> WorkloadProfile {
 pub fn kv_store(ws_pages: u64) -> WorkloadProfile {
     let table_pages = ws_pages * 88 / 100;
     let log_pages = ws_pages * 12 / 100;
-    let mut table = region(ANON_BASE_VPN, table_pages, PageType::Anon, 0.55, 0.005, 1.1, 0.10);
+    let mut table = region(
+        ANON_BASE_VPN,
+        table_pages,
+        PageType::Anon,
+        0.55,
+        0.005,
+        1.1,
+        0.10,
+    );
     table.tail_weight = 0.0005; // occasional miss-path scans
-    // Append-only log: written once, rarely re-read.
-    let log = region(FILE_BASE_VPN, log_pages, PageType::File, 0.04, 0.02, 0.0, 0.95);
+                                // Append-only log: written once, rarely re-read.
+    let log = region(
+        FILE_BASE_VPN,
+        log_pages,
+        PageType::File,
+        0.04,
+        0.02,
+        0.0,
+        0.95,
+    );
     WorkloadProfile {
         name: "kv_store".into(),
         pid: Pid(5),
@@ -226,8 +306,24 @@ pub fn batch_analytics(ws_pages: u64) -> WorkloadProfile {
     let data_pages = ws_pages * 80 / 100;
     let out_pages = ws_pages * 20 / 100;
     // Tiny window sweeping fast: a scan front.
-    let data = region(ANON_BASE_VPN, data_pages, PageType::Anon, 0.04, 0.20, 0.0, 0.15);
-    let out = region(FILE_BASE_VPN, out_pages, PageType::File, 0.05, 0.05, 0.0, 0.90);
+    let data = region(
+        ANON_BASE_VPN,
+        data_pages,
+        PageType::Anon,
+        0.04,
+        0.20,
+        0.0,
+        0.15,
+    );
+    let out = region(
+        FILE_BASE_VPN,
+        out_pages,
+        PageType::File,
+        0.05,
+        0.05,
+        0.0,
+        0.90,
+    );
     WorkloadProfile {
         name: "batch_analytics".into(),
         pid: Pid(6),
@@ -243,7 +339,15 @@ pub fn batch_analytics(ws_pages: u64) -> WorkloadProfile {
 /// A simple single-region anon workload with a 50% hot window — handy for
 /// quick starts and unit tests.
 pub fn uniform(ws_pages: u64) -> WorkloadProfile {
-    let anon = region(ANON_BASE_VPN, ws_pages, PageType::Anon, 0.5, 0.02, 0.5, 0.25);
+    let anon = region(
+        ANON_BASE_VPN,
+        ws_pages,
+        PageType::Anon,
+        0.5,
+        0.02,
+        0.5,
+        0.25,
+    );
     WorkloadProfile {
         name: "uniform".into(),
         pid: Pid(9),
@@ -310,30 +414,51 @@ mod tests {
         }
         let anon_pages = profile.regions[0].pages as f64;
         let file_pages = profile.regions.get(1).map_or(1.0, |r| r.pages as f64);
-        (anon.len() as f64 / anon_pages, file.len() as f64 / file_pages)
+        (
+            anon.len() as f64 / anon_pages,
+            file.len() as f64 / file_pages,
+        )
     }
 
     #[test]
     fn web_hotness_matches_paper() {
         let (anon, file) = coverage(&web(20_000), 10 * MINUTE);
-        assert!((0.25..0.50).contains(&anon), "web anon 2-min hot {anon}, paper ~0.35");
-        assert!((0.08..0.22).contains(&file), "web file 2-min hot {file}, paper ~0.14");
+        assert!(
+            (0.25..0.50).contains(&anon),
+            "web anon 2-min hot {anon}, paper ~0.35"
+        );
+        assert!(
+            (0.08..0.22).contains(&file),
+            "web file 2-min hot {file}, paper ~0.14"
+        );
         assert!(anon > file, "anon must be hotter than file");
     }
 
     #[test]
     fn cache1_hotness_matches_paper() {
         let (anon, file) = coverage(&cache1(20_000), 8 * MINUTE);
-        assert!((0.30..0.55).contains(&anon), "cache1 anon {anon}, paper ~0.40");
-        assert!((0.15..0.35).contains(&file), "cache1 file {file}, paper ~0.25");
+        assert!(
+            (0.30..0.55).contains(&anon),
+            "cache1 anon {anon}, paper ~0.40"
+        );
+        assert!(
+            (0.15..0.35).contains(&file),
+            "cache1 file {file}, paper ~0.25"
+        );
         assert!(anon > file);
     }
 
     #[test]
     fn cache2_hotness_is_roughly_balanced() {
         let (anon, file) = coverage(&cache2(20_000), 8 * MINUTE);
-        assert!((0.33..0.55).contains(&anon), "cache2 anon {anon}, paper ~0.43");
-        assert!((0.33..0.58).contains(&file), "cache2 file {file}, paper ~0.45");
+        assert!(
+            (0.33..0.55).contains(&anon),
+            "cache2 anon {anon}, paper ~0.43"
+        );
+        assert!(
+            (0.33..0.58).contains(&file),
+            "cache2 file {file}, paper ~0.45"
+        );
     }
 
     #[test]
@@ -367,9 +492,12 @@ mod tests {
         // Figure 11: Web re-accesses ~80% of cold pages within 10 minutes;
         // Data Warehouse mostly allocates fresh pages instead.
         let web_anon = crate::region::WindowedRegion::new(web(10_000).regions[0].clone());
-        let dw_anon =
-            crate::region::WindowedRegion::new(data_warehouse(10_000).regions[0].clone());
-        assert!(web_anon.cycle_ns() <= 11 * MINUTE, "web cycle {}", web_anon.cycle_ns());
+        let dw_anon = crate::region::WindowedRegion::new(data_warehouse(10_000).regions[0].clone());
+        assert!(
+            web_anon.cycle_ns() <= 11 * MINUTE,
+            "web cycle {}",
+            web_anon.cycle_ns()
+        );
         assert!(dw_anon.cycle_ns() > web_anon.cycle_ns());
     }
 
@@ -420,7 +548,11 @@ mod tests {
         let mut freqs: Vec<u32> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = freqs.iter().map(|&c| c as u64).sum();
-        let head: u64 = freqs.iter().take(freqs.len() / 20 + 1).map(|&c| c as u64).sum();
+        let head: u64 = freqs
+            .iter()
+            .take(freqs.len() / 20 + 1)
+            .map(|&c| c as u64)
+            .sum();
         assert!(
             head as f64 / total as f64 > 0.3,
             "top-5% of pages got only {:.2} of traffic",
@@ -435,7 +567,10 @@ mod tests {
         let w = batch_analytics(10_000);
         let data = crate::region::WindowedRegion::new(w.regions[0].clone());
         assert!(
-            data.cycle_ns() <= 6 * crate::region::WindowedRegion::new(w.regions[0].clone()).spec().dwell_ns,
+            data.cycle_ns()
+                <= 6 * crate::region::WindowedRegion::new(w.regions[0].clone())
+                    .spec()
+                    .dwell_ns,
             "scan cycle too slow: {}",
             data.cycle_ns()
         );

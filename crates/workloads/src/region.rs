@@ -161,8 +161,7 @@ impl WindowedRegion {
         let offset = if self.spec.tail_weight > 0.0 && rng.chance(self.spec.tail_weight) {
             // Sporadic one-off touch anywhere in the region.
             rng.range(0..allocated)
-        } else if self.spec.frontier_weight > 0.0 && rng.chance(self.spec.frontier_weight)
-        {
+        } else if self.spec.frontier_weight > 0.0 && rng.chance(self.spec.frontier_weight) {
             // Hot allocation frontier: the newest pages.
             let frontier = ((allocated as f64 * self.spec.frontier_frac) as u64).max(1);
             allocated - 1 - rng.range(0..frontier)
@@ -189,7 +188,12 @@ mod tests {
     use tiered_sim::MINUTE;
 
     fn region(window_frac: f64) -> WindowedRegion {
-        WindowedRegion::new(RegionSpec::steady(1000, 10_000, PageType::Anon, window_frac))
+        WindowedRegion::new(RegionSpec::steady(
+            1000,
+            10_000,
+            PageType::Anon,
+            window_frac,
+        ))
     }
 
     #[test]
@@ -243,7 +247,10 @@ mod tests {
     #[test]
     fn growth_expands_allocated_footprint() {
         let mut spec = RegionSpec::steady(0, 1000, PageType::Anon, 0.5);
-        spec.growth = Some(Growth { initial_frac: 0.1, pages_per_sec: 10.0 });
+        spec.growth = Some(Growth {
+            initial_frac: 0.1,
+            pages_per_sec: 10.0,
+        });
         let r = WindowedRegion::new(spec);
         assert_eq!(r.allocated_pages(0), 100);
         assert_eq!(r.allocated_pages(10 * SEC), 200);

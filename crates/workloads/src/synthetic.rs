@@ -90,9 +90,9 @@ impl WorkloadProfile {
             .cloned()
             .map(WindowedRegion::new)
             .collect();
-        let pool = self.transient.map(|t| {
-            TransientPool::new(TRANSIENT_BASE_VPN, t.range_pages, t.lifetime_ns)
-        });
+        let pool = self
+            .transient
+            .map(|t| TransientPool::new(TRANSIENT_BASE_VPN, t.range_pages, t.lifetime_ns));
         let materialize_cursors = vec![0u64; regions.len()];
         SyntheticWorkload {
             profile: self.clone(),
@@ -146,7 +146,11 @@ impl SyntheticWorkload {
     }
 
     fn warmup_op(&mut self) -> Op {
-        let warmup = self.profile.warmup.clone().expect("in warm-up without a spec");
+        let warmup = self
+            .profile
+            .warmup
+            .clone()
+            .expect("in warm-up without a spec");
         if warmup.interleave {
             return self.warmup_op_interleaved(&warmup);
         }
@@ -170,12 +174,18 @@ impl SyntheticWorkload {
                     for &r in &warmup.region_indices {
                         self.materialize_cursors[r] = self.regions[r].spec().pages;
                     }
-                    return Op { cpu_ns: warmup.cpu_ns_per_op, events };
+                    return Op {
+                        cpu_ns: warmup.cpu_ns_per_op,
+                        events,
+                    };
                 }
             }
         }
         self.warmup_pos = Some((list_pos, offset));
-        Op { cpu_ns: warmup.cpu_ns_per_op, events }
+        Op {
+            cpu_ns: warmup.cpu_ns_per_op,
+            events,
+        }
     }
 
     /// Proportional warm-up: each page goes to the least-complete region,
@@ -193,13 +203,16 @@ impl SyntheticWorkload {
                     continue;
                 }
                 let frac = cursor as f64 / pages as f64;
-                if best.map_or(true, |(_, bf)| frac < bf) {
+                if best.is_none_or(|(_, bf)| frac < bf) {
                     best = Some((r, frac));
                 }
             }
             let Some((r, _)) = best else {
                 self.warmup_pos = None;
-                return Op { cpu_ns: warmup.cpu_ns_per_op, events };
+                return Op {
+                    cpu_ns: warmup.cpu_ns_per_op,
+                    events,
+                };
             };
             let spec = self.regions[r].spec();
             events.push(WorkloadEvent::Access(Access {
@@ -210,7 +223,10 @@ impl SyntheticWorkload {
             }));
             self.materialize_cursors[r] += 1;
         }
-        Op { cpu_ns: warmup.cpu_ns_per_op, events }
+        Op {
+            cpu_ns: warmup.cpu_ns_per_op,
+            events,
+        }
     }
 }
 
@@ -261,12 +277,17 @@ impl Workload for SyntheticWorkload {
         // Short-lived churn: expire old pages, allocate fresh ones.
         if let (Some(pool), Some(spec)) = (self.pool.as_mut(), self.profile.transient) {
             for vpn in pool.take_expired(now_ns) {
-                events.push(WorkloadEvent::Free { pid: self.profile.pid, vpn });
+                events.push(WorkloadEvent::Free {
+                    pid: self.profile.pid,
+                    vpn,
+                });
             }
             self.alloc_carry += spec.allocs_per_op;
             while self.alloc_carry >= 1.0 {
                 self.alloc_carry -= 1.0;
-                let Some(vpn) = pool.allocate(now_ns) else { break };
+                let Some(vpn) = pool.allocate(now_ns) else {
+                    break;
+                };
                 for _ in 0..spec.touches_per_page {
                     events.push(WorkloadEvent::Access(Access {
                         pid: self.profile.pid,
@@ -286,7 +307,10 @@ impl Workload for SyntheticWorkload {
                 }));
             }
         }
-        Op { cpu_ns: self.profile.cpu_ns_per_op, events }
+        Op {
+            cpu_ns: self.profile.cpu_ns_per_op,
+            events,
+        }
     }
 
     fn working_set_pages(&self) -> u64 {

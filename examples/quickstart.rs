@@ -34,18 +34,36 @@ fn main() {
 
     // What happened?
     let m = system.metrics();
-    println!("\nafter {:.0} simulated seconds:", system.now_ns() as f64 / SEC as f64);
+    println!(
+        "\nafter {:.0} simulated seconds:",
+        system.now_ns() as f64 / SEC as f64
+    );
     println!("  ops completed        : {}", m.ops_completed);
     println!("  accesses             : {}", m.accesses);
-    println!("  served from local    : {:.1}%", m.local_traffic_fraction() * 100.0);
-    println!("  avg access latency   : {:.0} ns", m.avg_access_latency_ns());
+    println!(
+        "  served from local    : {:.1}%",
+        m.local_traffic_fraction() * 100.0
+    );
+    println!(
+        "  avg access latency   : {:.0} ns",
+        m.avg_access_latency_ns()
+    );
 
     let vm = system.memory().vmstat();
     println!("\nvmstat (TPP counters):");
-    println!("  pgdemote_anon        : {}", vm.get(tiered_mem::VmEvent::PgDemoteAnon));
-    println!("  pgdemote_file        : {}", vm.get(tiered_mem::VmEvent::PgDemoteFile));
+    println!(
+        "  pgdemote_anon        : {}",
+        vm.get(tiered_mem::VmEvent::PgDemoteAnon)
+    );
+    println!(
+        "  pgdemote_file        : {}",
+        vm.get(tiered_mem::VmEvent::PgDemoteFile)
+    );
     println!("  pgpromote_success    : {}", vm.promoted_total());
-    println!("  promote success rate : {:.1}%", vm.promote_success_rate() * 100.0);
+    println!(
+        "  promote success rate : {:.1}%",
+        vm.promote_success_rate() * 100.0
+    );
     println!(
         "  ping-pong candidates : {}",
         vm.get(tiered_mem::VmEvent::PgPromoteCandidateDemoted)

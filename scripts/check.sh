@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints (warnings are errors), and the
+# complete workspace test suite. CI and pre-PR checks run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo test -q --workspace

@@ -63,7 +63,11 @@ fn significant_memory_stays_cold() {
             "{}: {hot:.3} of memory hot within 2 intervals — too hot",
             profile.name
         );
-        assert!(hot > 0.05, "{}: {hot:.3} — nothing hot at all", profile.name);
+        assert!(
+            hot > 0.05,
+            "{}: {hot:.3} — nothing hot at all",
+            profile.name
+        );
     }
 }
 

@@ -1,8 +1,13 @@
 //! Reproducibility: every experiment is a pure function of its seed.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tiered_mem::telemetry::WriterSink;
 use tiered_sim::SEC;
 use tpp::configs;
 use tpp::experiment::{run_cell, PolicyChoice};
+use tpp::System;
 
 fn fingerprint(seed: u64) -> (u64, u64, String) {
     let profile = tiered_workloads::cache1(3_000);
@@ -14,7 +19,11 @@ fn fingerprint(seed: u64) -> (u64, u64, String) {
         seed,
     )
     .unwrap();
-    (r.metrics.ops_completed, r.metrics.accesses, r.vmstat.to_string())
+    (
+        r.metrics.ops_completed,
+        r.metrics.accesses,
+        r.vmstat.to_string(),
+    )
 }
 
 #[test]
@@ -32,6 +41,50 @@ fn different_seeds_diverge() {
     let b = fingerprint(2);
     // Ops counts almost surely differ; if not, the full counter dump must.
     assert!(a != b, "different seeds produced identical runs");
+}
+
+/// An `io::Write` that appends into a shared buffer, so the JSONL bytes a
+/// `WriterSink` produced can be inspected after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn jsonl_trace(seed: u64) -> Vec<u8> {
+    let profile = tiered_workloads::cache1(3_000);
+    let machine = configs::one_to_four(profile.working_set_pages());
+    let mut system = System::new(
+        machine,
+        PolicyChoice::Tpp.build(),
+        Box::new(profile.build()),
+        seed,
+    )
+    .unwrap();
+    let buf = SharedBuf::default();
+    system.set_event_sink(Box::new(WriterSink::new(Box::new(buf.clone()))));
+    system.run(10 * SEC);
+    system.flush_trace();
+    let bytes = buf.0.borrow().clone();
+    bytes
+}
+
+#[test]
+fn identical_seeds_produce_byte_identical_jsonl_traces() {
+    let a = jsonl_trace(77);
+    let b = jsonl_trace(77);
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(a, b, "same seed must reproduce the exact event stream");
+    // And a different seed produces a different stream.
+    assert_ne!(a, jsonl_trace(78));
 }
 
 #[test]

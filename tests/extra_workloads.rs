@@ -21,10 +21,22 @@ fn kv_store_is_promotion_heaven() {
         3,
     )
     .unwrap();
-    let linux = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Linux, DURATION, 3)
-        .unwrap();
-    let tpp = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Tpp, DURATION, 3)
-        .unwrap();
+    let linux = run_cell(
+        &profile,
+        configs::one_to_four(ws),
+        &PolicyChoice::Linux,
+        DURATION,
+        3,
+    )
+    .unwrap();
+    let tpp = run_cell(
+        &profile,
+        configs::one_to_four(ws),
+        &PolicyChoice::Tpp,
+        DURATION,
+        3,
+    )
+    .unwrap();
     assert!(
         tpp.local_traffic > linux.local_traffic + 0.2,
         "tpp {:.3} vs linux {:.3}",
@@ -54,10 +66,22 @@ fn batch_analytics_gains_little_from_promotion() {
         3,
     )
     .unwrap();
-    let linux = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Linux, DURATION, 3)
-        .unwrap();
-    let tpp = run_cell(&profile, configs::one_to_four(ws), &PolicyChoice::Tpp, DURATION, 3)
-        .unwrap();
+    let linux = run_cell(
+        &profile,
+        configs::one_to_four(ws),
+        &PolicyChoice::Linux,
+        DURATION,
+        3,
+    )
+    .unwrap();
+    let tpp = run_cell(
+        &profile,
+        configs::one_to_four(ws),
+        &PolicyChoice::Tpp,
+        DURATION,
+        3,
+    )
+    .unwrap();
     let tpp_rel = tpp.relative_throughput(&baseline);
     let linux_rel = linux.relative_throughput(&baseline);
     assert!(

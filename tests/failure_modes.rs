@@ -44,20 +44,35 @@ fn tpp_falls_back_to_legacy_reclaim_when_cxl_is_full() {
     m.create_process(tiered_mem::Pid(1));
     // Fill the CXL node completely.
     for i in 0..64u64 {
-        m.alloc_and_map(tiered_mem::NodeId(1), tiered_mem::Pid(1), tiered_mem::Vpn(10_000 + i), tiered_mem::PageType::Anon)
-            .unwrap();
+        m.alloc_and_map(
+            tiered_mem::NodeId(1),
+            tiered_mem::Pid(1),
+            tiered_mem::Vpn(10_000 + i),
+            tiered_mem::PageType::Anon,
+        )
+        .unwrap();
     }
     // Pressure the local node with cold tmpfs pages (past the demotion
     // trigger watermark).
     for i in 0..506u64 {
-        m.alloc_and_map(tiered_mem::NodeId(0), tiered_mem::Pid(1), tiered_mem::Vpn(i), tiered_mem::PageType::Tmpfs)
-            .unwrap();
+        m.alloc_and_map(
+            tiered_mem::NodeId(0),
+            tiered_mem::Pid(1),
+            tiered_mem::Vpn(i),
+            tiered_mem::PageType::Tmpfs,
+        )
+        .unwrap();
     }
     let lat = LatencyModel::datacenter();
     let mut rng = SimRng::seed(2);
     let mut policy = Tpp::new();
     for t in 0..10u64 {
-        let mut ctx = PolicyCtx { memory: &mut m, latency: &lat, now_ns: t * 50_000_000, rng: &mut rng };
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: t * 50_000_000,
+            rng: &mut rng,
+        };
         policy.tick(&mut ctx);
     }
     assert!(
@@ -158,7 +173,10 @@ fn oversubscribed_machine_with_swap_just_thrashes() {
     .unwrap();
     system.run(10 * SEC);
     let thrashed = system.metrics().steady_throughput(5 * SEC, u64::MAX);
-    assert!(system.memory().vmstat().get(VmEvent::PswpIn) > 100, "no thrashing observed");
+    assert!(
+        system.memory().vmstat().get(VmEvent::PswpIn) > 100,
+        "no thrashing observed"
+    );
     assert!(
         thrashed < baseline * 0.8,
         "oversubscription should hurt: {thrashed:.0} vs {baseline:.0}"

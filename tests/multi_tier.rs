@@ -4,9 +4,9 @@
 
 use tiered_mem::{Memory, NodeId, NodeKind, PageType, Pid, Vpn};
 use tiered_sim::{LatencyModel, SimRng, SEC};
+use tpp::experiment::PolicyChoice;
 use tpp::policy::{PlacementPolicy, PolicyCtx, Tpp};
 use tpp::{configs, System};
-use tpp::experiment::PolicyChoice;
 
 fn three_tier_machine() -> Memory {
     // One local node, two CXL nodes of increasing distance and latency.
@@ -33,7 +33,8 @@ fn tpp_demotes_to_the_nearest_cxl_node() {
     m.create_process(Pid(1));
     // Fill the local node with cold file pages.
     for i in 0..506 {
-        m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File).unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+            .unwrap();
     }
     let lat = LatencyModel::datacenter();
     let mut rng = SimRng::seed(1);

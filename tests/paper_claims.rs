@@ -51,11 +51,25 @@ fn tpp_beats_default_linux_on_memory_expansion() {
         tpp_rel > linux_rel + 0.05,
         "TPP ({tpp_rel:.3}) must clearly beat Linux ({linux_rel:.3})"
     );
-    assert!(tpp_rel > 0.95, "TPP should be near all-local, got {tpp_rel:.3}");
-    assert!(linux_rel < 0.93, "Linux should visibly suffer, got {linux_rel:.3}");
+    assert!(
+        tpp_rel > 0.95,
+        "TPP should be near all-local, got {tpp_rel:.3}"
+    );
+    assert!(
+        linux_rel < 0.93,
+        "Linux should visibly suffer, got {linux_rel:.3}"
+    );
     // Mechanism: TPP serves most traffic locally, Linux does not.
-    assert!(tpp.local_traffic > 0.80, "tpp local traffic {:.3}", tpp.local_traffic);
-    assert!(linux.local_traffic < 0.60, "linux local traffic {:.3}", linux.local_traffic);
+    assert!(
+        tpp.local_traffic > 0.80,
+        "tpp local traffic {:.3}",
+        tpp.local_traffic
+    );
+    assert!(
+        linux.local_traffic < 0.60,
+        "linux local traffic {:.3}",
+        linux.local_traffic
+    );
 }
 
 #[test]
@@ -188,7 +202,10 @@ fn page_type_aware_allocation_places_caches_on_cxl() {
     let aware = run_cell(
         &profile,
         configs::one_to_four(profile.working_set_pages()),
-        &PolicyChoice::TppCustom(TppConfig { cache_to_cxl: true, ..TppConfig::default() }),
+        &PolicyChoice::TppCustom(TppConfig {
+            cache_to_cxl: true,
+            ..TppConfig::default()
+        }),
         DURATION,
         SEED,
     )
@@ -204,7 +221,10 @@ fn page_type_aware_allocation_places_caches_on_cxl() {
         "anon should be preferentially local"
     );
     let rel = aware.relative_throughput(&baseline);
-    assert!(rel > 0.93, "page-type-aware TPP should stay near baseline, got {rel:.3}");
+    assert!(
+        rel > 0.93,
+        "page-type-aware TPP should stay near baseline, got {rel:.3}"
+    );
 }
 
 #[test]

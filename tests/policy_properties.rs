@@ -1,9 +1,11 @@
-//! Property-based tests at the policy level: no sequence of workload
+//! Property-style tests at the policy level: no sequence of workload
 //! traffic, daemon activity, and machine shapes may ever violate the
 //! substrate invariants, OOM a sanely-sized machine, or break
 //! determinism — under *any* policy.
-
-use proptest::prelude::*;
+//!
+//! Randomised cases are driven by a seeded [`SimRng`] loop (the crates
+//! registry is unreachable, so no proptest): every case is a pure
+//! function of the loop index and fully reproducible.
 
 use tiered_sim::{SimRng, Workload, SEC};
 use tpp::configs;
@@ -11,25 +13,19 @@ use tpp::experiment::PolicyChoice;
 use tpp::policy::TppConfig;
 use tpp::System;
 
-fn policy_strategy() -> impl Strategy<Value = PolicyChoice> {
-    prop_oneof![
-        Just(PolicyChoice::Linux),
-        Just(PolicyChoice::NumaBalancing),
-        Just(PolicyChoice::Tpp),
-        Just(PolicyChoice::InMemorySwap),
-        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(d, f, c)| {
-            PolicyChoice::TppCustom(TppConfig {
-                decouple: d,
-                active_lru_filter: f,
-                cache_to_cxl: c,
-                ..TppConfig::default()
-            })
+fn pick_policy(rng: &mut SimRng) -> PolicyChoice {
+    match rng.range(0..5) {
+        0 => PolicyChoice::Linux,
+        1 => PolicyChoice::NumaBalancing,
+        2 => PolicyChoice::Tpp,
+        3 => PolicyChoice::InMemorySwap,
+        _ => PolicyChoice::TppCustom(TppConfig {
+            decouple: rng.chance(0.5),
+            active_lru_filter: rng.chance(0.5),
+            cache_to_cxl: rng.chance(0.5),
+            ..TppConfig::default()
         }),
-    ]
-}
-
-fn workload_strategy() -> impl Strategy<Value = u8> {
-    0..5u8
+    }
 }
 
 fn build_workload(which: u8, ws: u64) -> Box<dyn Workload> {
@@ -53,18 +49,16 @@ fn workload_ws(which: u8, ws: u64) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any (policy × workload × ratio × seed) cell runs to completion with
-    /// all memory invariants intact.
-    #[test]
-    fn any_cell_preserves_invariants(
-        choice in policy_strategy(),
-        which in workload_strategy(),
-        ratio_cxl in 1u64..5,
-        seed in 0u64..1000,
-    ) {
+/// Any (policy × workload × ratio × seed) cell runs to completion with
+/// all memory invariants intact.
+#[test]
+fn any_cell_preserves_invariants() {
+    let mut rng = SimRng::seed(0xA11C_E11);
+    for case in 0..12u64 {
+        let choice = pick_policy(&mut rng);
+        let which = rng.range(0..5) as u8;
+        let ratio_cxl = rng.range(1..5);
+        let seed = rng.range(0..1000);
         let ws = 1_200;
         let total_ws = workload_ws(which, ws);
         let memory = configs::ratio(total_ws, 1, ratio_cxl);
@@ -72,20 +66,25 @@ proptest! {
         let mut system = match system {
             Ok(s) => s,
             // AutoTiering-style rejections are legitimate outcomes.
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         system.run(4 * SEC);
         system.memory().validate();
-        prop_assert!(system.metrics().ops_completed > 0);
+        assert!(
+            system.metrics().ops_completed > 0,
+            "case {case}: no ops completed"
+        );
     }
+}
 
-    /// Bit-level determinism holds for every policy and seed.
-    #[test]
-    fn any_cell_is_deterministic(
-        choice in policy_strategy(),
-        which in workload_strategy(),
-        seed in 0u64..1000,
-    ) {
+/// Bit-level determinism holds for every policy and seed.
+#[test]
+fn any_cell_is_deterministic() {
+    let mut rng = SimRng::seed(0xD37E_12);
+    for case in 0..6u64 {
+        let choice = pick_policy(&mut rng);
+        let which = rng.range(0..5) as u8;
+        let seed = rng.range(0..1000);
         let ws = 1_000;
         let total_ws = workload_ws(which, ws);
         let fingerprint = || {
@@ -99,16 +98,18 @@ proptest! {
                 system.memory().vmstat().to_string(),
             )
         };
-        prop_assert_eq!(fingerprint(), fingerprint());
+        assert_eq!(fingerprint(), fingerprint(), "case {case} diverged");
     }
+}
 
-    /// The workload generators never emit accesses outside their declared
-    /// working set (VPN hygiene across all region/transient machinery).
-    #[test]
-    fn workloads_stay_inside_declared_footprint(
-        which in workload_strategy(),
-        seed in 0u64..1000,
-    ) {
+/// The workload generators never emit accesses outside their declared
+/// working set (VPN hygiene across all region/transient machinery).
+#[test]
+fn workloads_stay_inside_declared_footprint() {
+    let mut meta = SimRng::seed(0xF007);
+    for _case in 0..10u64 {
+        let which = meta.range(0..5) as u8;
+        let seed = meta.range(0..1000);
         let ws = 1_000;
         let mut workload = build_workload(which, ws);
         let declared = workload.working_set_pages();
@@ -122,9 +123,9 @@ proptest! {
                 }
             }
         }
-        prop_assert!(
+        assert!(
             (distinct.len() as u64) <= declared,
-            "{} distinct pages exceed declared {declared}",
+            "workload {which}: {} distinct pages exceed declared {declared}",
             distinct.len()
         );
     }
