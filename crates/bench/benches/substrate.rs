@@ -4,7 +4,7 @@
 
 use tpp_bench::microbench::{bench, bench_with_setup};
 
-use tiered_mem::{LruKind, Memory, NodeId, NodeKind, PageType, Pfn, Pid, Vpn};
+use tiered_mem::{AddressSpace, LruKind, Memory, NodeId, NodeKind, PageType, Pfn, Pid, Vpn};
 
 fn machine(local: u64, cxl: u64) -> Memory {
     Memory::builder()
@@ -101,6 +101,84 @@ fn bench_tail_window() {
             .tail_window(m.frames(), LruKind::AnonActive, 64);
         std::hint::black_box(w.len());
     });
+    let mut scratch: Vec<Pfn> = Vec::new();
+    bench("substrate/lru_tail_window_64_scratch_reuse", || {
+        m.node(NodeId(0))
+            .lru
+            .tail_window_into(m.frames(), LruKind::AnonActive, 64, &mut scratch);
+        std::hint::black_box(scratch.len());
+    });
+}
+
+/// Pages mapped into the translation benches' address space: large
+/// enough that the table outgrows every CPU cache level.
+const XLATE_PAGES: u64 = 1_000_000;
+
+/// A tiny deterministic LCG (numerical-recipes constants) so the access
+/// sequence is pseudo-random without any external dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn xlate_space() -> AddressSpace {
+    let mut space = AddressSpace::new(Pid(1));
+    for i in 0..XLATE_PAGES {
+        space.map(Vpn(i), Pfn(i as u32));
+    }
+    space
+}
+
+fn bench_translate() {
+    let space = xlate_space();
+    // Last-translation cache hit: the same VPN back to back.
+    bench("substrate/translate_1m_cached_same_vpn", || {
+        std::hint::black_box(space.translate(Vpn(123_456)));
+    });
+    // Table hit: pseudo-random mapped VPNs (defeats the one-entry cache).
+    let mut state = 1u64;
+    bench("substrate/translate_1m_hit_random", || {
+        let vpn = Vpn(lcg(&mut state) % XLATE_PAGES);
+        std::hint::black_box(space.translate(vpn));
+    });
+    // Miss: VPNs that were never mapped.
+    let mut state = 2u64;
+    bench("substrate/translate_1m_miss_random", || {
+        let vpn = Vpn(XLATE_PAGES + lcg(&mut state) % XLATE_PAGES);
+        std::hint::black_box(space.translate(vpn));
+    });
+    // Swapped: a resident/swapped mix, hitting the swapped half.
+    let mut swapped = xlate_space();
+    for i in 0..XLATE_PAGES / 2 {
+        swapped.set_swapped(Vpn(i * 2), tiered_mem::SwapSlot(i));
+    }
+    let mut state = 3u64;
+    bench("substrate/translate_1m_swapped_random", || {
+        let vpn = Vpn((lcg(&mut state) % (XLATE_PAGES / 2)) * 2);
+        std::hint::black_box(swapped.translate(vpn));
+    });
+}
+
+/// The `std::collections::HashMap` the open-addressed table replaced,
+/// under the same 1M-page random-lookup load — the baseline for the
+/// page-table speedup claim.
+fn bench_hashmap_baseline() {
+    let mut map: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for i in 0..XLATE_PAGES {
+        map.insert(i, i);
+    }
+    let mut state = 1u64;
+    bench("substrate/hashmap_1m_hit_random_baseline", || {
+        let vpn = lcg(&mut state) % XLATE_PAGES;
+        std::hint::black_box(map.get(&vpn));
+    });
+    let mut state = 2u64;
+    bench("substrate/hashmap_1m_miss_random_baseline", || {
+        let vpn = XLATE_PAGES + lcg(&mut state) % XLATE_PAGES;
+        std::hint::black_box(map.get(&vpn));
+    });
 }
 
 fn bench_validate() {
@@ -114,5 +192,7 @@ fn main() {
     bench_migration();
     bench_swap();
     bench_tail_window();
+    bench_translate();
+    bench_hashmap_baseline();
     bench_validate();
 }

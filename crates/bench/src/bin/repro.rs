@@ -20,6 +20,7 @@
 //! always run untraced, so their numbers are unchanged by `--trace`.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use tpp_bench::charfig;
 use tpp_bench::evalfig;
@@ -28,19 +29,28 @@ use tpp_bench::Scale;
 
 struct Args {
     quick: bool,
+    jobs: usize,
     csv_dir: PathBuf,
     trace: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    timings_json: Option<PathBuf>,
     targets: Vec<String>,
+}
+
+/// Worker threads to use when `--jobs` is not given: every core.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn parse_args() -> Args {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args = Args {
         quick: false,
+        jobs: default_jobs(),
         csv_dir: PathBuf::from("results"),
         trace: None,
         metrics_dir: None,
+        timings_json: None,
         targets: Vec::new(),
     };
     let mut it = raw.into_iter();
@@ -54,12 +64,28 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--jobs" => {
+                let v = value_of("--jobs");
+                args.jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--csv" => args.csv_dir = PathBuf::from(value_of("--csv")),
             "--trace" => args.trace = Some(PathBuf::from(value_of("--trace"))),
             "--metrics-dir" => args.metrics_dir = Some(PathBuf::from(value_of("--metrics-dir"))),
+            "--timings-json" => {
+                args.timings_json = Some(PathBuf::from(value_of("--timings-json")));
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
-                eprintln!("flags: --quick --csv <dir> --trace <path> --metrics-dir <dir>");
+                eprintln!(
+                    "flags: --quick --jobs <n> --csv <dir> --trace <path> --metrics-dir <dir> \
+                     --timings-json <path>"
+                );
                 std::process::exit(2);
             }
             target => args.targets.push(target.to_string()),
@@ -70,11 +96,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let scale = if args.quick {
+    let mut scale = if args.quick {
         Scale::quick()
     } else {
         Scale::standard()
     };
+    scale.jobs = args.jobs;
     tpp_bench::scale::set_csv_dir(&args.csv_dir);
 
     // A bare `--trace`/`--metrics-dir` invocation asks only for the
@@ -109,18 +136,25 @@ fn main() {
         args.targets.iter().map(|s| s.as_str()).collect()
     };
 
+    let run_start = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
+
     let needs_characterization = targets
         .iter()
         .any(|t| matches!(*t, "fig7" | "fig8" | "fig9" | "fig10" | "fig11"));
     let chars = if needs_characterization {
         eprintln!("characterizing workloads (Chameleon)...");
-        charfig::characterize_all(&scale)
+        let t = Instant::now();
+        let chars = charfig::characterize_all(&scale);
+        timings.push(("characterize".to_string(), t.elapsed().as_secs_f64()));
+        chars
     } else {
         Vec::new()
     };
 
     for target in &targets {
         eprintln!("running {target}...");
+        let t = Instant::now();
         match *target {
             "fig2" => {
                 charfig::fig2();
@@ -185,9 +219,35 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        timings.push((target.to_string(), t.elapsed().as_secs_f64()));
     }
 
     let mut failed = false;
+
+    if let Some(path) = &args.timings_json {
+        let total_wall_s = run_start.elapsed().as_secs_f64();
+        let ops = tpp_bench::executor::ops_total();
+        let per_target: Vec<String> = timings
+            .iter()
+            .map(|(name, secs)| format!("    {{\"target\": \"{name}\", \"wall_s\": {secs:.3}}}"))
+            .collect();
+        let json = format!(
+            "{{\n  \"jobs\": {},\n  \"scale\": \"{}\",\n  \"total_wall_s\": {:.3},\n  \
+             \"simulated_accesses\": {},\n  \"aggregate_ops_per_s\": {:.0},\n  \"targets\": [\n{}\n  ]\n}}\n",
+            scale.jobs,
+            if args.quick { "quick" } else { "standard" },
+            total_wall_s,
+            ops,
+            ops as f64 / total_wall_s.max(1e-9),
+            per_target.join(",\n"),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write timings to {}: {e}", path.display());
+            failed = true;
+        } else {
+            eprintln!("timings written to {}", path.display());
+        }
+    }
 
     // Regression gate: at standard scale the simulator is deterministic,
     // so produced tables must match the checked-in snapshots.

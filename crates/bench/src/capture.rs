@@ -14,9 +14,9 @@ use tiered_mem::telemetry::{
 };
 use tiered_mem::VmStat;
 use tiered_sim::SEC;
+use tpp::configs;
+use tpp::experiment::{CellSpec, PolicyChoice};
 use tpp::metrics::{decision_summary, ping_pong_report, vmstat_csv, PingPongReport};
-use tpp::policy::Tpp;
-use tpp::{configs, System};
 
 use crate::scale::{print_table, Scale};
 
@@ -50,10 +50,19 @@ pub fn capture_run(
     metrics_dir: Option<&Path>,
 ) -> std::io::Result<CaptureOutcome> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
-    let workload = profile.build();
-    let memory = configs::one_to_four(profile.working_set_pages());
-    let mut system = System::new(memory, Box::new(Tpp::new()), Box::new(workload), scale.seed)
-        .expect("tpp supports the 1:4 machine");
+    let ws = profile.working_set_pages();
+    // The capture cell is the same descriptor the figures would use; the
+    // ring/tee sinks are `Rc`-based (not `Send`), so the system is built
+    // from the spec here and instrumented inline instead of going through
+    // the parallel executor.
+    let spec = CellSpec::new(
+        profile.clone(),
+        move || configs::one_to_four(ws),
+        PolicyChoice::Tpp,
+        scale.duration_ns,
+        scale.seed,
+    );
+    let mut system = spec.build_system().expect("tpp supports the 1:4 machine");
 
     let ring = RingSink::unbounded();
     let mut tee = TeeSink::new().with(Box::new(ring.clone()));

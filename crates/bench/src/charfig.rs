@@ -13,6 +13,7 @@ use tiered_sim::LatencyModel;
 use tpp::experiment::PolicyChoice;
 use tpp::{configs, RunMetrics, System};
 
+use crate::executor::parallel_map;
 use crate::scale::{pct, print_table, Scale};
 
 /// One workload's characterization artefacts.
@@ -31,10 +32,15 @@ pub struct Characterization {
 
 /// Runs all four production workloads on all-local machines with a
 /// profiler attached.
+///
+/// The four runs are independent (each builds its own machine, profiler
+/// and seed), so they are fanned out over `scale.jobs` executor workers;
+/// results come back in workload order regardless of job count.
 pub fn characterize_all(scale: &Scale) -> Vec<Characterization> {
-    tiered_workloads::all_production(scale.ws_pages)
-        .into_iter()
-        .map(|profile| {
+    let profiles = tiered_workloads::all_production(scale.ws_pages);
+    parallel_map(scale.jobs, profiles.len(), |i| {
+        {
+            let profile = &profiles[i];
             let memory = configs::all_local(profile.working_set_pages());
             let workload = profile.build();
             let mut system = System::new(
@@ -70,8 +76,8 @@ pub fn characterize_all(scale: &Scale) -> Vec<Characterization> {
                 resident_anon,
                 resident_file,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Figure 2/5: the memory-tier latency hierarchy of the simulated

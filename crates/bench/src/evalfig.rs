@@ -1,15 +1,22 @@
 //! Evaluation figures (paper §6): Figures 15–19 and Table 1.
 //!
 //! Every function returns structured results (for integration tests and
-//! Criterion benches) and prints the paper-shaped table.
+//! the micro-benchmarks) and prints the paper-shaped table.
+//!
+//! Figures no longer run cells inline: they *enumerate* the full grid as
+//! [`CellSpec`] descriptors first and hand the batch to
+//! [`crate::executor::run_cells`], which fans it over `scale.jobs` worker
+//! threads. Results come back in spec order, so tables (and the CSV
+//! exports behind them) are byte-identical at any job count.
 
 use tiered_mem::{Memory, VmEvent};
 use tiered_sim::SEC;
 use tiered_workloads::WorkloadProfile;
 use tpp::configs;
-use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
+use tpp::experiment::{CellSpec, ExperimentResult, PolicyChoice};
 use tpp::policy::TppConfig;
 
+use crate::executor::run_cells;
 use crate::scale::{pct, print_table, Scale};
 
 /// One workload's comparison: the all-local baseline plus one result per
@@ -23,36 +30,68 @@ pub struct Comparison {
     pub cells: Vec<ExperimentResult>,
 }
 
-fn run_baseline(profile: &WorkloadProfile, scale: &Scale) -> ExperimentResult {
-    run_cell(
-        profile,
-        configs::all_local(profile.working_set_pages()),
-        &PolicyChoice::Linux,
+/// The spec for the all-local baseline every comparison is relative to.
+fn baseline_spec(profile: &WorkloadProfile, scale: &Scale) -> CellSpec {
+    let ws = profile.working_set_pages();
+    CellSpec::new(
+        profile.clone(),
+        move || configs::all_local(ws),
+        PolicyChoice::Linux,
         scale.duration_ns,
         scale.seed,
     )
-    .expect("all-local baseline always runs")
 }
 
-fn compare(
+/// Enumerates one comparison group: the baseline spec followed by one
+/// spec per policy on the machine built by `machine`.
+fn comparison_specs(
     profile: &WorkloadProfile,
-    machine: impl Fn() -> Memory,
+    machine: impl Fn() -> Memory + Send + Sync + Clone + 'static,
     policies: &[PolicyChoice],
     scale: &Scale,
-) -> Comparison {
-    let baseline = run_baseline(profile, scale);
-    let cells = policies
-        .iter()
-        .map(|choice| {
-            run_cell(profile, machine(), choice, scale.duration_ns, scale.seed)
-                .expect("policy was pre-validated for this machine")
-        })
-        .collect();
-    Comparison {
-        workload: profile.name.clone(),
-        baseline,
-        cells,
+) -> Vec<CellSpec> {
+    let mut specs = vec![baseline_spec(profile, scale)];
+    for choice in policies {
+        specs.push(CellSpec::new(
+            profile.clone(),
+            machine.clone(),
+            choice.clone(),
+            scale.duration_ns,
+            scale.seed,
+        ));
     }
+    specs
+}
+
+/// Runs comparison groups as one flat batch on `scale.jobs` workers and
+/// regroups the results. Each group is `[baseline, cell, cell, ...]` as
+/// produced by [`comparison_specs`].
+fn run_comparisons(groups: Vec<Vec<CellSpec>>, scale: &Scale) -> Vec<Comparison> {
+    let shapes: Vec<(String, usize)> = groups
+        .iter()
+        .map(|g| (g[0].profile.name.clone(), g.len()))
+        .collect();
+    let flat: Vec<CellSpec> = groups.into_iter().flatten().collect();
+    let mut results = run_cells(scale.jobs, &flat).into_iter();
+    shapes
+        .into_iter()
+        .map(|(workload, n)| {
+            let mut cells: Vec<ExperimentResult> = (0..n)
+                .map(|_| {
+                    results
+                        .next()
+                        .expect("one result per spec")
+                        .expect("policy was pre-validated for this machine")
+                })
+                .collect();
+            let baseline = cells.remove(0);
+            Comparison {
+                workload,
+                baseline,
+                cells,
+            }
+        })
+        .collect()
 }
 
 fn traffic_perf_rows(comparisons: &[Comparison]) -> Vec<Vec<String>> {
@@ -93,17 +132,19 @@ const TRAFFIC_HEADER: [&str; 9] = [
 /// Figure 15: default production environment (2:1), default Linux vs TPP
 /// on all four workloads.
 pub fn fig15(scale: &Scale) -> Vec<Comparison> {
-    let comparisons: Vec<Comparison> = tiered_workloads::all_production(scale.ws_pages)
+    let groups: Vec<Vec<CellSpec>> = tiered_workloads::all_production(scale.ws_pages)
         .iter()
         .map(|p| {
-            compare(
+            let ws = p.working_set_pages();
+            comparison_specs(
                 p,
-                || configs::two_to_one(p.working_set_pages()),
+                move || configs::two_to_one(ws),
                 &[PolicyChoice::Linux, PolicyChoice::Tpp],
                 scale,
             )
         })
         .collect();
+    let comparisons = run_comparisons(groups, scale);
     print_table(
         "Figure 15 — 2:1 local:CXL, default Linux vs TPP",
         &TRAFFIC_HEADER,
@@ -118,17 +159,19 @@ pub fn fig16(scale: &Scale) -> Vec<Comparison> {
         tiered_workloads::cache1(scale.ws_pages),
         tiered_workloads::cache2(scale.ws_pages),
     ];
-    let comparisons: Vec<Comparison> = profiles
+    let groups: Vec<Vec<CellSpec>> = profiles
         .iter()
         .map(|p| {
-            compare(
+            let ws = p.working_set_pages();
+            comparison_specs(
                 p,
-                || configs::one_to_four(p.working_set_pages()),
+                move || configs::one_to_four(ws),
                 &[PolicyChoice::Linux, PolicyChoice::Tpp],
                 scale,
             )
         })
         .collect();
+    let comparisons = run_comparisons(groups, scale);
     print_table(
         "Figure 16 — 1:4 local:CXL (80% of working set on CXL)",
         &TRAFFIC_HEADER,
@@ -141,16 +184,18 @@ pub fn fig16(scale: &Scale) -> Vec<Comparison> {
 /// 1:4).
 pub fn fig17(scale: &Scale) -> Vec<Comparison> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
+    let ws = profile.working_set_pages();
     let coupled = TppConfig {
         decouple: false,
         ..TppConfig::default()
     };
-    let comparison = compare(
+    let groups = vec![comparison_specs(
         &profile,
-        || configs::one_to_four(profile.working_set_pages()),
+        move || configs::one_to_four(ws),
         &[PolicyChoice::TppCustom(coupled), PolicyChoice::Tpp],
         scale,
-    );
+    )];
+    let comparison = run_comparisons(groups, scale).pop().expect("one group");
     let mut rows = Vec::new();
     for (label, r) in [
         ("coupled", &comparison.cells[0]),
@@ -186,16 +231,18 @@ pub fn fig17(scale: &Scale) -> Vec<Comparison> {
 /// Figure 18: ablation of the active-LRU promotion filter (Cache1, 1:4).
 pub fn fig18(scale: &Scale) -> Vec<Comparison> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
+    let ws = profile.working_set_pages();
     let instant = TppConfig {
         active_lru_filter: false,
         ..TppConfig::default()
     };
-    let comparison = compare(
+    let groups = vec![comparison_specs(
         &profile,
-        || configs::one_to_four(profile.working_set_pages()),
+        move || configs::one_to_four(ws),
         &[PolicyChoice::TppCustom(instant), PolicyChoice::Tpp],
         scale,
-    );
+    )];
+    let comparison = run_comparisons(groups, scale).pop().expect("one group");
     let mut rows = Vec::new();
     for (label, r) in [
         ("instant promotion", &comparison.cells[0]),
@@ -251,24 +298,30 @@ pub fn table1(scale: &Scale) -> Vec<Comparison> {
             configs::one_to_four,
         ),
     ];
+    let config_labels: Vec<&'static str> = cells.iter().map(|(_, l, _)| *l).collect();
+    let groups: Vec<Vec<CellSpec>> = cells
+        .iter()
+        .map(|(profile, _, machine)| {
+            let (ws, machine) = (profile.working_set_pages(), *machine);
+            comparison_specs(
+                profile,
+                move || machine(ws),
+                &[PolicyChoice::TppCustom(aware)],
+                scale,
+            )
+        })
+        .collect();
+    let out = run_comparisons(groups, scale);
     let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for (profile, config_label, machine) in cells {
-        let comparison = compare(
-            &profile,
-            || machine(profile.working_set_pages()),
-            &[PolicyChoice::TppCustom(aware)],
-            scale,
-        );
+    for (comparison, config_label) in out.iter().zip(config_labels) {
         let r = &comparison.cells[0];
         rows.push(vec![
-            profile.name.clone(),
+            comparison.workload.clone(),
             config_label.to_string(),
             pct(r.local_traffic),
             pct(1.0 - r.local_traffic),
             pct(r.relative_throughput(&comparison.baseline)),
         ]);
-        out.push(comparison);
     }
     print_table(
         "Table 1 — page-type-aware allocation (caches to CXL)",
@@ -289,9 +342,15 @@ pub fn table1(scale: &Scale) -> Vec<Comparison> {
 /// paper).
 pub fn fig19(scale: &Scale) -> Vec<Comparison> {
     let web = tiered_workloads::web(scale.ws_pages);
-    let web_cmp = compare(
+    let cache1 = tiered_workloads::cache1(scale.ws_pages);
+    let (web_ws, cache_ws) = (web.working_set_pages(), cache1.working_set_pages());
+
+    // One flat batch: the web group, the cache1 group, the paper's
+    // AutoTiering-on-1:4 probe (expected to refuse), and AutoTiering's
+    // 2:1 fallback row. Spec order fixes result order.
+    let mut specs = comparison_specs(
         &web,
-        || configs::two_to_one(web.working_set_pages()),
+        move || configs::two_to_one(web_ws),
         &[
             PolicyChoice::Linux,
             PolicyChoice::NumaBalancing,
@@ -300,32 +359,59 @@ pub fn fig19(scale: &Scale) -> Vec<Comparison> {
         ],
         scale,
     );
-    let cache1 = tiered_workloads::cache1(scale.ws_pages);
-    // AutoTiering refuses 1:4 — reproduce the paper's observation, then
-    // fall back to 2:1 for its row.
-    let at_on_1to4 = run_cell(
+    let web_len = specs.len();
+    specs.extend(comparison_specs(
         &cache1,
-        configs::one_to_four(cache1.working_set_pages()),
-        &PolicyChoice::AutoTiering,
-        scale.duration_ns,
-        scale.seed,
-    );
-    let unsupported = at_on_1to4.err();
-    let mut cache_cmp = compare(
-        &cache1,
-        || configs::one_to_four(cache1.working_set_pages()),
+        move || configs::one_to_four(cache_ws),
         &[PolicyChoice::NumaBalancing, PolicyChoice::Tpp],
         scale,
-    );
-    let at_on_2to1 = run_cell(
-        &cache1,
-        configs::two_to_one(cache1.working_set_pages()),
-        &PolicyChoice::AutoTiering,
+    ));
+    specs.push(CellSpec::new(
+        cache1.clone(),
+        move || configs::one_to_four(cache_ws),
+        PolicyChoice::AutoTiering,
         scale.duration_ns,
         scale.seed,
-    )
-    .expect("AutoTiering supports 2:1");
-    cache_cmp.cells.push(at_on_2to1);
+    ));
+    specs.push(CellSpec::new(
+        cache1.clone(),
+        move || configs::two_to_one(cache_ws),
+        PolicyChoice::AutoTiering,
+        scale.duration_ns,
+        scale.seed,
+    ));
+
+    let mut results = run_cells(scale.jobs, &specs).into_iter();
+    fn take(
+        results: &mut impl Iterator<Item = Result<ExperimentResult, tpp::policy::UnsupportedConfig>>,
+        msg: &str,
+    ) -> ExperimentResult {
+        results.next().expect("one result per spec").expect(msg)
+    }
+    let mut web_cells: Vec<ExperimentResult> = (0..web_len)
+        .map(|_| take(&mut results, "every policy supports 2:1"))
+        .collect();
+    let web_cmp = Comparison {
+        workload: web.name.clone(),
+        baseline: web_cells.remove(0),
+        cells: web_cells,
+    };
+    let mut cache_cells: Vec<ExperimentResult> = (0..3)
+        .map(|_| take(&mut results, "policy supports 1:4"))
+        .collect();
+    let cache_baseline = cache_cells.remove(0);
+    // AutoTiering refuses 1:4 — reproduce the paper's observation, then
+    // fall back to 2:1 for its row.
+    let unsupported = results
+        .next()
+        .expect("one result per spec")
+        .expect_err("AutoTiering refuses 1:4");
+    cache_cells.push(take(&mut results, "AutoTiering supports 2:1"));
+    let cache_cmp = Comparison {
+        workload: cache1.name.clone(),
+        baseline: cache_baseline,
+        cells: cache_cells,
+    };
 
     let comparisons = vec![web_cmp, cache_cmp];
     let mut rows = Vec::new();
@@ -362,9 +448,7 @@ pub fn fig19(scale: &Scale) -> Vec<Comparison> {
         ],
         &rows,
     );
-    if let Some(e) = unsupported {
-        println!("\nnote: {e}");
-    }
+    println!("\nnote: {unsupported}");
     comparisons
 }
 
@@ -382,14 +466,53 @@ mod tests {
             ..Scale::quick()
         };
         let profile = tiered_workloads::uniform(scale.ws_pages);
-        let cmp = compare(
+        let ws = profile.working_set_pages();
+        let groups = vec![comparison_specs(
             &profile,
-            || configs::two_to_one(scale.ws_pages),
+            move || configs::two_to_one(ws),
             &[PolicyChoice::Tpp],
             &scale,
-        );
-        let rows = traffic_perf_rows(&[cmp]);
+        )];
+        let cmp = run_comparisons(groups, &scale);
+        let rows = traffic_perf_rows(&cmp);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].len(), TRAFFIC_HEADER.len());
+    }
+
+    #[test]
+    fn comparison_groups_are_job_count_invariant() {
+        let scale_seq = Scale {
+            duration_ns: 2 * SEC,
+            ws_pages: 1500,
+            jobs: 1,
+            ..Scale::quick()
+        };
+        let scale_par = Scale {
+            jobs: 4,
+            ..scale_seq
+        };
+        let groups = |scale: &Scale| {
+            let profile = tiered_workloads::uniform(scale.ws_pages);
+            let ws = profile.working_set_pages();
+            vec![comparison_specs(
+                &profile,
+                move || configs::two_to_one(ws),
+                &[PolicyChoice::Linux, PolicyChoice::Tpp],
+                scale,
+            )]
+        };
+        let seq = run_comparisons(groups(&scale_seq), &scale_seq);
+        let par = run_comparisons(groups(&scale_par), &scale_par);
+        let flatten = |cs: &[Comparison]| {
+            cs.iter()
+                .flat_map(|c| {
+                    std::iter::once(&c.baseline)
+                        .chain(c.cells.iter())
+                        .map(|r| (r.policy.clone(), r.throughput, r.vmstat.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flatten(&seq), flatten(&par));
     }
 }

@@ -1,0 +1,172 @@
+//! The parallel experiment executor: fans independent work items over a
+//! fixed pool of scoped worker threads with **zero third-party deps**.
+//!
+//! Experiment cells are embarrassingly parallel — each [`CellSpec`] owns
+//! its own machine factory, workload profile, RNG seed and clock, and a
+//! running cell touches no shared mutable state. The executor therefore
+//! only has to solve scheduling and ordering:
+//!
+//! * **Scheduling** — workers claim item indices from a shared
+//!   [`AtomicUsize`] "ticket" counter, so a slow cell never stalls the
+//!   cells behind it the way a static partition would.
+//! * **Ordering** — each worker records `(index, result)` pairs and the
+//!   results are reassembled into *input order* after the scope joins,
+//!   so the output never depends on thread timing. Combined with
+//!   per-cell state ownership this makes `--jobs N` output bit-identical
+//!   to `--jobs 1`.
+//!
+//! [`parallel_map`] is the generic primitive; [`run_cells`] is the
+//! cell-batch convenience used by the figure drivers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use tpp::experiment::{CellSpec, ExperimentResult};
+use tpp::policy::UnsupportedConfig;
+
+/// Total simulated accesses executed by finished cells in this process
+/// (all threads), for the aggregate ops/s line in timing reports.
+static OPS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Credits `n` simulated accesses to the process-wide counter.
+pub fn add_ops(n: u64) {
+    OPS_TOTAL.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Simulated accesses completed so far (process-wide).
+pub fn ops_total() -> u64 {
+    OPS_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Maps `f` over `0..n` with up to `jobs` worker threads and returns the
+/// results in index order.
+///
+/// `jobs <= 1` (or `n <= 1`) short-circuits to a plain sequential loop on
+/// the calling thread — exactly the single-threaded behaviour, with no
+/// threads spawned at all. Otherwise `min(jobs, n)` scoped threads claim
+/// indices from the shared ticket counter; each worker keeps its own
+/// `(index, result)` list and the lists are merged back into input order
+/// once the scope has joined every worker.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("executor worker panicked") {
+                debug_assert!(slots[i].is_none(), "ticket counter issued {i} twice");
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed by exactly one worker"))
+        .collect()
+}
+
+/// Runs a batch of cells on `jobs` workers and returns their results in
+/// spec order (see [`parallel_map`] for the scheduling/ordering model).
+///
+/// Each cell's simulated access count is credited to the process-wide
+/// [`ops_total`] counter as it finishes.
+pub fn run_cells(
+    jobs: usize,
+    specs: &[CellSpec],
+) -> Vec<Result<ExperimentResult, UnsupportedConfig>> {
+    parallel_map(jobs, specs.len(), |i| {
+        let outcome = specs[i].run();
+        if let Ok(result) = &outcome {
+            add_ops(result.metrics.accesses);
+        }
+        outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_sim::SEC;
+    use tpp::experiment::PolicyChoice;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        for jobs in [1, 2, 4, 7] {
+            let out = parallel_map(jobs, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        assert_eq!(parallel_map(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    fn demo_specs() -> Vec<CellSpec> {
+        [PolicyChoice::Linux, PolicyChoice::Tpp]
+            .into_iter()
+            .map(|choice| {
+                CellSpec::new(
+                    tiered_workloads::uniform(1_500),
+                    || tpp::configs::two_to_one(2_000),
+                    choice,
+                    2 * SEC,
+                    7,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_cells_matches_sequential_execution() {
+        let sequential: Vec<_> = demo_specs().iter().map(|s| s.run()).collect();
+        let parallel = run_cells(4, &demo_specs());
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.policy, p.policy);
+            assert_eq!(s.throughput, p.throughput);
+            assert_eq!(s.local_traffic, p.local_traffic);
+            assert_eq!(s.vmstat, p.vmstat);
+        }
+    }
+
+    #[test]
+    fn ops_counter_accumulates() {
+        let before = ops_total();
+        add_ops(123);
+        assert!(ops_total() >= before + 123);
+    }
+}

@@ -10,6 +10,7 @@
 pub mod capture;
 pub mod charfig;
 pub mod evalfig;
+pub mod executor;
 pub mod microbench;
 pub mod scale;
 pub mod sweeps;

@@ -21,6 +21,8 @@ pub struct Scale {
     pub profile_duration_ns: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for cell execution (1 = fully sequential).
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -33,6 +35,7 @@ impl Scale {
             profile_interval_ns: 30 * SEC,
             profile_duration_ns: 5 * MINUTE,
             seed: 42,
+            jobs: 1,
         }
     }
 
@@ -44,6 +47,7 @@ impl Scale {
             profile_interval_ns: 10 * SEC,
             profile_duration_ns: 80 * SEC,
             seed: 42,
+            jobs: 1,
         }
     }
 }

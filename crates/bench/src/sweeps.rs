@@ -9,23 +9,46 @@
 //! * [`sweep_ratio`] — the local:CXL capacity curve between the paper's
 //!   2:1 and 1:4 end points,
 //! * [`zswap_comparison`] — TPP vs. in-memory swapping (zswap/zram).
+//!
+//! Like the evaluation figures, sweeps enumerate their whole grid as
+//! [`CellSpec`]s (the shared all-local baseline is always spec 0) and run
+//! the batch on `scale.jobs` executor workers; rows are derived from the
+//! results in spec order, so the tables are identical at any job count.
 
 use tiered_mem::{Memory, NodeKind};
 use tiered_workloads::WorkloadProfile;
 use tpp::configs;
-use tpp::experiment::{run_cell, ExperimentResult, PolicyChoice};
+use tpp::experiment::{CellSpec, ExperimentResult, PolicyChoice};
 
+use crate::executor::{parallel_map, run_cells};
 use crate::scale::{pct, print_table, Scale};
 
-fn baseline(profile: &WorkloadProfile, scale: &Scale) -> ExperimentResult {
-    run_cell(
-        profile,
-        configs::all_local(profile.working_set_pages()),
-        &PolicyChoice::Linux,
+fn baseline_spec(profile: &WorkloadProfile, scale: &Scale) -> CellSpec {
+    let ws = profile.working_set_pages();
+    CellSpec::new(
+        profile.clone(),
+        move || configs::all_local(ws),
+        PolicyChoice::Linux,
         scale.duration_ns,
         scale.seed,
     )
-    .expect("all-local baseline always runs")
+}
+
+/// Runs `specs` on the executor and unwraps every cell (sweep grids only
+/// contain supported machine/policy pairs).
+fn run_all(specs: &[CellSpec], scale: &Scale) -> Vec<ExperimentResult> {
+    run_cells(scale.jobs, specs)
+        .into_iter()
+        .map(|r| r.expect("sweep cells use supported machine/policy pairs"))
+        .collect()
+}
+
+/// The Cache1 1:4 machine the sweeps perturb: one knob at a time off
+/// this base shape.
+fn one_to_four_shape(ws: u64) -> (u64, u64) {
+    let total = ws * 105 / 100;
+    let local = total / 5;
+    (local, total - local)
 }
 
 /// Sweep `demote_scale_factor` (basis points) on Cache1 1:4 under TPP.
@@ -35,33 +58,37 @@ fn baseline(profile: &WorkloadProfile, scale: &Scale) -> ExperimentResult {
 pub fn sweep_demote_scale(scale: &Scale) -> Vec<Vec<String>> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
     let ws = profile.working_set_pages();
-    let base = baseline(&profile, scale);
-    let mut rows = Vec::new();
-    for bp in [25u32, 100, 200, 400, 800] {
-        let total = ws * 105 / 100;
-        let local = total / 5;
-        let mut builder = Memory::builder();
-        builder
-            .node(NodeKind::LocalDram, local.max(64))
-            .node(NodeKind::Cxl, (total - local).max(64))
-            .swap_pages(ws * 4)
-            .demote_scale_bp(bp);
-        let memory = builder.build();
-        let r = run_cell(
-            &profile,
-            memory,
-            &PolicyChoice::Tpp,
+    let points = [25u32, 100, 200, 400, 800];
+    let mut specs = vec![baseline_spec(&profile, scale)];
+    for bp in points {
+        let (local, cxl) = one_to_four_shape(ws);
+        specs.push(CellSpec::new(
+            profile.clone(),
+            move || {
+                let mut builder = Memory::builder();
+                builder
+                    .node(NodeKind::LocalDram, local.max(64))
+                    .node(NodeKind::Cxl, cxl.max(64))
+                    .swap_pages(ws * 4)
+                    .demote_scale_bp(bp);
+                builder.build()
+            },
+            PolicyChoice::Tpp,
             scale.duration_ns,
             scale.seed,
-        )
-        .expect("tpp supports all machines");
+        ));
+    }
+    let results = run_all(&specs, scale);
+    let base = &results[0];
+    let mut rows = Vec::new();
+    for (bp, r) in points.iter().zip(&results[1..]) {
         rows.push(vec![
-            format!("{:.2}%", bp as f64 / 100.0),
+            format!("{:.2}%", *bp as f64 / 100.0),
             pct(r.local_traffic),
             format!("{}", r.promoted()),
             format!("{}", r.demoted()),
             pct(r.vmstat.promote_success_rate()),
-            pct(r.relative_throughput(&base)),
+            pct(r.relative_throughput(base)),
         ]);
     }
     print_table(
@@ -84,31 +111,43 @@ pub fn sweep_demote_scale(scale: &Scale) -> Vec<Vec<String>> {
 pub fn sweep_cxl_latency(scale: &Scale) -> Vec<Vec<String>> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
     let ws = profile.working_set_pages();
-    let base = baseline(&profile, scale);
-    let mut rows = Vec::new();
-    for (label, latency) in [
+    let points = [
         ("ASIC target (185 ns)", 185u64),
         ("FPGA prototype (350 ns)", 350),
         ("slow device (500 ns)", 500),
-    ] {
+    ];
+    let mut specs = vec![baseline_spec(&profile, scale)];
+    let mut labels = Vec::new();
+    for (label, latency) in points {
         for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
-            let total = ws * 105 / 100;
-            let local = total / 5;
-            let mut builder = Memory::builder();
-            builder
-                .node(NodeKind::LocalDram, local.max(64))
-                .node_with_latency(NodeKind::Cxl, (total - local).max(64), latency)
-                .swap_pages(ws * 4);
-            let memory = builder.build();
-            let r = run_cell(&profile, memory, &choice, scale.duration_ns, scale.seed)
-                .expect("supported");
-            rows.push(vec![
-                label.to_string(),
-                r.policy.clone(),
-                pct(r.local_traffic),
-                pct(r.relative_throughput(&base)),
-            ]);
+            let (local, cxl) = one_to_four_shape(ws);
+            specs.push(CellSpec::new(
+                profile.clone(),
+                move || {
+                    let mut builder = Memory::builder();
+                    builder
+                        .node(NodeKind::LocalDram, local.max(64))
+                        .node_with_latency(NodeKind::Cxl, cxl.max(64), latency)
+                        .swap_pages(ws * 4);
+                    builder.build()
+                },
+                choice,
+                scale.duration_ns,
+                scale.seed,
+            ));
+            labels.push(label);
         }
+    }
+    let results = run_all(&specs, scale);
+    let base = &results[0];
+    let mut rows = Vec::new();
+    for (label, r) in labels.iter().zip(&results[1..]) {
+        rows.push(vec![
+            label.to_string(),
+            r.policy.clone(),
+            pct(r.local_traffic),
+            pct(r.relative_throughput(base)),
+        ]);
     }
     print_table(
         "Sweep — CXL latency sensitivity (Cache1, 1:4)",
@@ -127,26 +166,37 @@ pub fn sweep_cxl_latency(scale: &Scale) -> Vec<Vec<String>> {
 pub fn sweep_ratio(scale: &Scale) -> Vec<Vec<String>> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
     let ws = profile.working_set_pages();
-    let base = baseline(&profile, scale);
-    let mut rows = Vec::new();
-    for (label, local_parts, cxl_parts) in [
+    let points = [
         ("2:1", 2u64, 1u64),
         ("1:1", 1, 1),
         ("1:2", 1, 2),
         ("1:4", 1, 4),
         ("1:5", 1, 5),
-    ] {
+    ];
+    let mut specs = vec![baseline_spec(&profile, scale)];
+    let mut labels = Vec::new();
+    for (label, local_parts, cxl_parts) in points {
         for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
-            let memory = configs::ratio(ws, local_parts, cxl_parts);
-            let r = run_cell(&profile, memory, &choice, scale.duration_ns, scale.seed)
-                .expect("supported");
-            rows.push(vec![
-                label.to_string(),
-                r.policy.clone(),
-                pct(r.local_traffic),
-                pct(r.relative_throughput(&base)),
-            ]);
+            specs.push(CellSpec::new(
+                profile.clone(),
+                move || configs::ratio(ws, local_parts, cxl_parts),
+                choice,
+                scale.duration_ns,
+                scale.seed,
+            ));
+            labels.push(label);
         }
+    }
+    let results = run_all(&specs, scale);
+    let base = &results[0];
+    let mut rows = Vec::new();
+    for (label, r) in labels.iter().zip(&results[1..]) {
+        rows.push(vec![
+            label.to_string(),
+            r.policy.clone(),
+            pct(r.local_traffic),
+            pct(r.relative_throughput(base)),
+        ]);
     }
     print_table(
         "Sweep — local:CXL capacity ratio (Cache1)",
@@ -175,51 +225,48 @@ pub fn sweep_ratio(scale: &Scale) -> Vec<Vec<String>> {
 pub fn zswap_comparison(scale: &Scale) -> Vec<Vec<String>> {
     let profile = tiered_workloads::cache1(scale.ws_pages);
     let ws = profile.working_set_pages();
-    let base = baseline(&profile, scale);
-    let total = ws * 105 / 100;
-    let local = total / 5;
-    let cxl = total - local;
-    let mut rows = Vec::new();
+    let (local, cxl) = one_to_four_shape(ws);
+    let mut specs = vec![baseline_spec(&profile, scale)];
     // CXL as an in-memory swap pool.
-    {
-        let mut builder = Memory::builder();
-        builder
-            .node(NodeKind::LocalDram, local.max(64))
-            .swap_pages(cxl + ws);
-        let r = run_cell(
-            &profile,
-            builder.build(),
-            &PolicyChoice::InMemorySwap,
-            scale.duration_ns,
-            scale.seed,
-        )
-        .expect("supported");
-        rows.push(vec![
-            "CXL as swap pool (inmem_swap)".to_string(),
-            pct(r.local_traffic),
-            format!("{}", r.swap_outs()),
-            format!("{}", r.vmstat.get(tiered_mem::VmEvent::PswpIn)),
-            format!("{}", r.demoted()),
-            pct(r.relative_throughput(&base)),
-        ]);
-    }
+    specs.push(CellSpec::new(
+        profile.clone(),
+        move || {
+            let mut builder = Memory::builder();
+            builder
+                .node(NodeKind::LocalDram, local.max(64))
+                .swap_pages(cxl + ws);
+            builder.build()
+        },
+        PolicyChoice::InMemorySwap,
+        scale.duration_ns,
+        scale.seed,
+    ));
     // CXL as addressable memory under TPP (and default Linux for scale).
     for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
-        let r = run_cell(
-            &profile,
-            configs::one_to_four(ws),
-            &choice,
+        specs.push(CellSpec::new(
+            profile.clone(),
+            move || configs::one_to_four(ws),
+            choice,
             scale.duration_ns,
             scale.seed,
-        )
-        .expect("supported");
+        ));
+    }
+    let results = run_all(&specs, scale);
+    let base = &results[0];
+    let mut rows = Vec::new();
+    for (i, r) in results[1..].iter().enumerate() {
+        let label = if i == 0 {
+            "CXL as swap pool (inmem_swap)".to_string()
+        } else {
+            format!("CXL as memory ({})", r.policy)
+        };
         rows.push(vec![
-            format!("CXL as memory ({})", r.policy),
+            label,
             pct(r.local_traffic),
             format!("{}", r.swap_outs()),
             format!("{}", r.vmstat.get(tiered_mem::VmEvent::PswpIn)),
             format!("{}", r.demoted()),
-            pct(r.relative_throughput(&base)),
+            pct(r.relative_throughput(base)),
         ]);
     }
     print_table(
@@ -241,10 +288,16 @@ pub fn zswap_comparison(scale: &Scale) -> Vec<Vec<String>> {
 /// Warehouse job share one 2:1 machine. TPP arbitrates the shared local
 /// node transparently; default Linux lets whoever allocated first keep
 /// it.
+///
+/// `MultiSystem` lanes share one machine, so this experiment cannot be
+/// expressed as independent [`CellSpec`] cells; the two policy variants
+/// are still fanned out with [`parallel_map`] (each worker builds and
+/// runs its own `MultiSystem` locally).
 pub fn colocation(scale: &Scale) -> Vec<Vec<String>> {
     use tpp::MultiSystem;
-    let mut rows = Vec::new();
-    for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
+    let choices = [PolicyChoice::Linux, PolicyChoice::Tpp];
+    let per_choice: Vec<Vec<Vec<String>>> = parallel_map(scale.jobs, choices.len(), |ci| {
+        let choice = &choices[ci];
         let cache = tiered_workloads::cache1(scale.ws_pages / 2);
         let warehouse = tiered_workloads::data_warehouse(scale.ws_pages / 2);
         let total_ws = cache.working_set_pages() + warehouse.working_set_pages();
@@ -257,17 +310,20 @@ pub fn colocation(scale: &Scale) -> Vec<Vec<String>> {
         .expect("2:1 supported");
         system.run(scale.duration_ns);
         let half = scale.duration_ns / 2;
-        for i in 0..system.lane_count() {
-            let m = system.lane_metrics(i);
-            rows.push(vec![
-                choice.label().to_string(),
-                system.lane_name(i).to_string(),
-                format!("{:.0}", m.steady_throughput(half, u64::MAX)),
-                pct(m.local_traffic_fraction()),
-                format!("{}", m.p99_op_latency_ns() / 1000),
-            ]);
-        }
-    }
+        (0..system.lane_count())
+            .map(|i| {
+                let m = system.lane_metrics(i);
+                vec![
+                    choice.label().to_string(),
+                    system.lane_name(i).to_string(),
+                    format!("{:.0}", m.steady_throughput(half, u64::MAX)),
+                    pct(m.local_traffic_fraction()),
+                    format!("{}", m.p99_op_latency_ns() / 1000),
+                ]
+            })
+            .collect()
+    });
+    let rows: Vec<Vec<String>> = per_choice.into_iter().flatten().collect();
     print_table(
         "Extra — co-located cache1 + data_warehouse on one 2:1 machine",
         &[

@@ -1,6 +1,15 @@
 //! The experiment harness: runs (workload × machine × policy) cells and
 //! reduces them to the quantities the paper's figures report.
+//!
+//! Cells are described by [`CellSpec`] — a plain, thread-shareable
+//! descriptor — so figure and sweep grids can be enumerated first and
+//! executed by any driver (sequentially, or fanned out over a worker
+//! pool). Each spec owns its workload profile, machine *factory*, policy
+//! choice, duration and seed: running a spec touches no shared mutable
+//! state, which is what makes parallel execution bit-identical to
+//! sequential execution.
 
+use tiered_mem::telemetry::EventSink;
 use tiered_mem::{Memory, NodeId, VmEvent, VmStat};
 use tiered_workloads::WorkloadProfile;
 
@@ -52,6 +61,104 @@ impl PolicyChoice {
             PolicyChoice::TppCustom(_) => "tpp*",
             PolicyChoice::InMemorySwap => "inmem_swap",
         }
+    }
+}
+
+/// A self-contained description of one experiment cell.
+///
+/// `Memory` holds a boxed event sink and is therefore not `Send`; the
+/// spec carries a machine *factory* instead, and each worker thread
+/// constructs the machine (and optional sink) locally. Everything else is
+/// plain data, so a `CellSpec` is `Send + Sync` and a batch of specs can
+/// be shared across a thread scope.
+pub struct CellSpec {
+    /// Workload to run.
+    pub profile: WorkloadProfile,
+    /// Policy selection.
+    pub choice: PolicyChoice,
+    /// Simulated run duration, ns.
+    pub duration_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+    machine: Box<dyn Fn() -> Memory + Send + Sync>,
+    sink: Option<Box<dyn Fn() -> Box<dyn EventSink> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpec")
+            .field("profile", &self.profile.name)
+            .field("choice", &self.choice)
+            .field("duration_ns", &self.duration_ns)
+            .field("seed", &self.seed)
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CellSpec {
+    /// Describes a cell: `profile` on the machine built by `machine`
+    /// under `choice` for `duration_ns` simulated time.
+    pub fn new(
+        profile: WorkloadProfile,
+        machine: impl Fn() -> Memory + Send + Sync + 'static,
+        choice: PolicyChoice,
+        duration_ns: u64,
+        seed: u64,
+    ) -> CellSpec {
+        CellSpec {
+            profile,
+            choice,
+            duration_ns,
+            seed,
+            machine: Box::new(machine),
+            sink: None,
+        }
+    }
+
+    /// Attaches an event-sink factory; [`CellSpec::run`] installs a fresh
+    /// sink from it before running and flushes it afterwards.
+    #[must_use]
+    pub fn with_sink(
+        mut self,
+        sink: impl Fn() -> Box<dyn EventSink> + Send + Sync + 'static,
+    ) -> CellSpec {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Builds the ready-to-run system for this cell (no sink attached).
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedConfig`] if the policy rejects the machine.
+    pub fn build_system(&self) -> Result<System, UnsupportedConfig> {
+        System::new(
+            (self.machine)(),
+            self.choice.build(),
+            Box::new(self.profile.build()),
+            self.seed,
+        )
+    }
+
+    /// Runs the cell to completion and reduces it.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedConfig`] if the policy rejects the machine.
+    pub fn run(&self) -> Result<ExperimentResult, UnsupportedConfig> {
+        let mut system = self.build_system()?;
+        if let Some(make_sink) = &self.sink {
+            system.set_event_sink(make_sink());
+        }
+        system.run(self.duration_ns);
+        system.flush_trace();
+        Ok(reduce(
+            system,
+            self.choice.label(),
+            &self.profile.name,
+            self.duration_ns,
+        ))
     }
 }
 
@@ -174,6 +281,32 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.local_traffic));
         assert!((0.0..=1.0).contains(&r.anon_resident_local));
         assert!(r.avg_latency_ns >= 100.0);
+    }
+
+    #[test]
+    fn cell_spec_is_send_sync_and_matches_run_cell() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CellSpec>();
+
+        let spec = CellSpec::new(
+            tiered_workloads::uniform(2_000),
+            || configs::two_to_one(2_500),
+            PolicyChoice::Tpp,
+            2 * SEC,
+            1,
+        );
+        let via_spec = spec.run().unwrap();
+        let direct = run_cell(
+            &tiered_workloads::uniform(2_000),
+            configs::two_to_one(2_500),
+            &PolicyChoice::Tpp,
+            2 * SEC,
+            1,
+        )
+        .unwrap();
+        assert_eq!(via_spec.throughput, direct.throughput);
+        assert_eq!(via_spec.local_traffic, direct.local_traffic);
+        assert_eq!(via_spec.vmstat, direct.vmstat);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use tiered_mem::{Memory, NodeId, PageType, Pfn, Pid, TraceEvent, Vpn};
 use tiered_sim::{Periodic, SEC};
 
 use super::linux_default::{evict_page, fault_with_fallback, LinuxDefaultConfig};
-use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
 use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx, UnsupportedConfig};
 
@@ -114,20 +114,22 @@ impl AutoTiering {
             return;
         };
         let mut time_left = self.config.demote_budget.time_ns;
+        let mut scratch = ReclaimScratch::from_pool(ctx.memory);
         while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
             let want = (wm.high - ctx.memory.free_pages(node)).min(64) as usize;
-            let victims = select_victims(
+            select_victims_into(
                 ctx.memory,
                 node,
                 want,
                 self.config.demote_budget.scan_pages as usize,
                 VictimClass::AnonAndFile,
+                &mut scratch,
             );
-            if victims.is_empty() {
+            if scratch.victims.is_empty() {
                 break;
             }
             let mut progressed = false;
-            for pfn in victims {
+            for &pfn in &scratch.victims {
                 // Timer-based criterion: only cold-by-counter pages move.
                 if ctx.memory.frames().frame(pfn).hotness() > 1 {
                     continue;
@@ -162,6 +164,7 @@ impl AutoTiering {
                 break;
             }
         }
+        scratch.into_pool(ctx.memory);
     }
 }
 

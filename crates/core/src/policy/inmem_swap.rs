@@ -16,7 +16,7 @@ use tiered_mem::{NodeId, PageKey, PageLocation, PageType, Pid, TraceEvent, Vpn};
 use tiered_sim::MS;
 
 use super::linux_default::{materialise_cost_ns, try_place};
-use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`InMemorySwap`].
@@ -114,16 +114,18 @@ impl PlacementPolicy for InMemorySwap {
         let mut cost = base_cost;
         let node_pages = ctx.memory.capacity(prefer) as usize;
         let mut scan_budget = 512usize;
+        let mut scratch = ReclaimScratch::from_pool(ctx.memory);
         loop {
-            let victims = select_victims(
+            select_victims_into(
                 ctx.memory,
                 prefer,
                 32,
                 scan_budget,
                 VictimClass::AnonAndFile,
+                &mut scratch,
             );
             let mut freed = 0usize;
-            for v in victims {
+            for &v in &scratch.victims {
                 let page = ctx
                     .memory
                     .frames()
@@ -142,6 +144,7 @@ impl PlacementPolicy for InMemorySwap {
             }
             scan_budget = (scan_budget * 8).min(node_pages);
         }
+        scratch.into_pool(ctx.memory);
         for node in ctx.memory.fallback_order(prefer) {
             if let Some(pfn) = try_place(ctx.memory, node, pid, vpn, page_type, was_swapped) {
                 return FaultOutcome { pfn, cost_ns: cost };
@@ -162,20 +165,22 @@ impl PlacementPolicy for InMemorySwap {
                 node: Some(node),
             });
             let mut time_left = self.config.budget.time_ns;
+            let mut scratch = ReclaimScratch::from_pool(ctx.memory);
             while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
                 let want = (wm.high - ctx.memory.free_pages(node)).min(64) as usize;
-                let victims = select_victims(
+                select_victims_into(
                     ctx.memory,
                     node,
                     want,
                     self.config.budget.scan_pages as usize,
                     VictimClass::AnonAndFile,
+                    &mut scratch,
                 );
-                if victims.is_empty() {
+                if scratch.victims.is_empty() {
                     break;
                 }
                 let mut progressed = false;
-                for pfn in victims {
+                for &pfn in &scratch.victims {
                     // Everything goes to the in-memory pool, even file
                     // pages (zram holds any page).
                     let page = ctx
@@ -200,6 +205,7 @@ impl PlacementPolicy for InMemorySwap {
                     break;
                 }
             }
+            scratch.into_pool(ctx.memory);
         }
     }
 

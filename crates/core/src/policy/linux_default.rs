@@ -9,7 +9,7 @@ use tiered_mem::{
 };
 use tiered_sim::{LatencyModel, MS};
 
-use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`LinuxDefault`].
@@ -281,14 +281,17 @@ pub(crate) fn kswapd_pass(
     let mut time_left = budget.time_ns;
     let mut reclaimed = 0u64;
     let want = (boost_target.saturating_sub(free)).min(32) as usize;
-    let victims = select_victims(
+    let mut scratch = ReclaimScratch::from_pool(memory);
+    select_victims_into(
         memory,
         node,
         want,
         budget.scan_pages as usize,
         VictimClass::AnonAndFile,
+        &mut scratch,
     );
-    for pfn in victims {
+    for i in 0..scratch.victims.len() {
+        let pfn = scratch.victims[i];
         match evict_page(memory, latency, pfn) {
             Some(cost) if cost <= time_left => {
                 time_left -= cost;
@@ -297,6 +300,7 @@ pub(crate) fn kswapd_pass(
             Some(_) | None => break,
         }
     }
+    scratch.into_pool(memory);
     reclaimed
 }
 
@@ -315,16 +319,25 @@ pub(crate) fn direct_reclaim(
     let mut cost = 0u64;
     let node_pages = memory.capacity(node) as usize;
     let mut scan_budget = want * 8;
+    let mut scratch = ReclaimScratch::from_pool(memory);
     loop {
-        let victims = select_victims(memory, node, want, scan_budget, VictimClass::AnonAndFile);
+        select_victims_into(
+            memory,
+            node,
+            want,
+            scan_budget,
+            VictimClass::AnonAndFile,
+            &mut scratch,
+        );
         let mut freed = 0usize;
-        for pfn in victims {
-            if let Some(c) = evict_page(memory, latency, pfn) {
+        for i in 0..scratch.victims.len() {
+            if let Some(c) = evict_page(memory, latency, scratch.victims[i]) {
                 cost += c;
                 freed += 1;
             }
         }
         if freed > 0 || scan_budget >= node_pages {
+            scratch.into_pool(memory);
             return cost;
         }
         scan_budget = (scan_budget * 8).min(node_pages);

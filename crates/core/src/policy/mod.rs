@@ -28,7 +28,9 @@ pub use autotiering::{AutoTiering, AutoTieringConfig};
 pub use inmem_swap::{InMemorySwap, InMemorySwapConfig};
 pub use linux_default::{LinuxDefault, LinuxDefaultConfig};
 pub use numa_balancing::{NumaBalancing, NumaBalancingConfig};
-pub use reclaim::{age_active_list, select_victims, DaemonBudget, VictimClass};
+pub use reclaim::{
+    age_active_list, select_victims, select_victims_into, DaemonBudget, ReclaimScratch, VictimClass,
+};
 pub use sampler::{HintSampler, SampleScope, SamplerConfig};
 pub use tpp_policy::{Tpp, TppConfig};
 

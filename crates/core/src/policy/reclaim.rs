@@ -50,8 +50,53 @@ pub enum VictimClass {
     AnonAndFile,
 }
 
+/// Reusable buffers for [`select_victims_into`].
+///
+/// Background daemons scan every tick; holding the victim and rotation
+/// lists across calls removes two heap allocations per tick per node.
+#[derive(Clone, Debug, Default)]
+pub struct ReclaimScratch {
+    /// Victims selected by the last scan, coldest first.
+    pub victims: Vec<Pfn>,
+    kind_victims: Vec<Pfn>,
+}
+
+impl ReclaimScratch {
+    /// Borrows buffers from `memory`'s scratch pool.
+    pub fn from_pool(memory: &mut Memory) -> ReclaimScratch {
+        ReclaimScratch {
+            victims: memory.take_pfn_scratch(),
+            kind_victims: memory.take_pfn_scratch(),
+        }
+    }
+
+    /// Hands the buffers back to `memory`'s scratch pool for reuse.
+    pub fn into_pool(self, memory: &mut Memory) {
+        memory.put_pfn_scratch(self.victims);
+        memory.put_pfn_scratch(self.kind_victims);
+    }
+}
+
 /// Scans up to `scan_budget` pages from `node`'s inactive tails and
 /// returns up to `want` reclaim victims, coldest first.
+///
+/// Allocating convenience wrapper around [`select_victims_into`]; per-tick
+/// callers should hold a [`ReclaimScratch`] and use the `_into` form.
+pub fn select_victims(
+    memory: &mut Memory,
+    node: NodeId,
+    want: usize,
+    scan_budget: usize,
+    class: VictimClass,
+) -> Vec<Pfn> {
+    let mut scratch = ReclaimScratch::default();
+    select_victims_into(memory, node, want, scan_budget, class, &mut scratch);
+    scratch.victims
+}
+
+/// Scans up to `scan_budget` pages from `node`'s inactive tails and
+/// leaves up to `want` reclaim victims in `scratch.victims`, coldest
+/// first.
 ///
 /// Second-chance semantics mirror `shrink_inactive_list`:
 /// * `REFERENCED` pages get their bit cleared and rotate away from the
@@ -62,14 +107,19 @@ pub enum VictimClass {
 /// Victims remain linked at the tail of their list; the caller evicts
 /// them via `migrate_page`, `swap_out`, or `drop_file_page` (each of
 /// which maintains LRU consistency itself).
-pub fn select_victims(
+pub fn select_victims_into(
     memory: &mut Memory,
     node: NodeId,
     want: usize,
     scan_budget: usize,
     class: VictimClass,
-) -> Vec<Pfn> {
-    let mut victims = Vec::with_capacity(want.min(64));
+    scratch: &mut ReclaimScratch,
+) {
+    let ReclaimScratch {
+        victims,
+        kind_victims,
+    } = scratch;
+    victims.clear();
     let mut scanned = 0usize;
     let kinds: &[LruKind] = match class {
         VictimClass::FileOnly => &[LruKind::FileInactive],
@@ -80,7 +130,7 @@ pub fn select_victims(
         // reclaim always has something to look at (inactive/active
         // rebalancing, `inactive_is_low` analogue).
         balance_inactive(memory, node, kind);
-        let mut kind_victims = Vec::new();
+        kind_victims.clear();
         let list_len = memory.node(node).lru.len(kind) as usize;
         let mut remaining = list_len;
         let scanned_before = scanned;
@@ -122,12 +172,11 @@ pub fn select_victims(
                 pages: (scanned - scanned_before) as u64,
             });
         }
-        victims.extend(kind_victims);
+        victims.append(kind_victims);
         if victims.len() >= want || scanned >= scan_budget {
             break;
         }
     }
-    victims
 }
 
 /// Moves pages from the active tail to the inactive head until the

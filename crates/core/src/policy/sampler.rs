@@ -53,6 +53,8 @@ impl SamplerConfig {
 pub struct HintSampler {
     config: SamplerConfig,
     cursors: std::collections::HashMap<tiered_mem::Pid, u64>,
+    /// Reused per-scan buffer for each process's sorted VPNs.
+    vpn_scratch: Vec<tiered_mem::Vpn>,
 }
 
 impl HintSampler {
@@ -61,6 +63,7 @@ impl HintSampler {
         HintSampler {
             config,
             cursors: std::collections::HashMap::new(),
+            vpn_scratch: Vec::new(),
         }
     }
 
@@ -81,7 +84,8 @@ impl HintSampler {
         }
         let per_pid = (budget / pids.len() as u32).max(1);
         for pid in pids {
-            let vpns = memory.space(pid).sorted_vpns();
+            memory.space(pid).sorted_vpns_into(&mut self.vpn_scratch);
+            let vpns = &self.vpn_scratch;
             if vpns.is_empty() {
                 continue;
             }

@@ -31,7 +31,7 @@ use tiered_mem::{NodeId, PageFlags, PageType, Pfn, Pid, TraceEvent, Vpn};
 use tiered_sim::{Periodic, MS};
 
 use super::linux_default::{evict_page, fault_with_fallback, kswapd_pass, materialise_cost_ns};
-use super::reclaim::{select_victims, DaemonBudget, VictimClass};
+use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
 use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
 
@@ -167,22 +167,24 @@ impl Tpp {
             return;
         };
         let mut time_left = self.config.demote_budget.time_ns;
+        let mut scratch = ReclaimScratch::from_pool(ctx.memory);
         while ctx.memory.free_pages(node) < target_free && time_left > 0 {
             let want = (target_free - ctx.memory.free_pages(node)).min(64) as usize;
             // Unlike swapping, demoted pages stay in memory, so TPP scans
             // inactive *anon* pages as well as file pages (§5.1).
-            let victims = select_victims(
+            select_victims_into(
                 ctx.memory,
                 node,
                 want,
                 self.config.demote_budget.scan_pages as usize,
                 VictimClass::AnonAndFile,
+                &mut scratch,
             );
-            if victims.is_empty() {
+            if scratch.victims.is_empty() {
                 break;
             }
             let mut progressed = false;
-            for pfn in victims {
+            for &pfn in &scratch.victims {
                 let frame = ctx.memory.frames().frame(pfn);
                 let page_type = frame.page_type();
                 let page = frame.owner().expect("demotion victim is allocated");
@@ -223,6 +225,7 @@ impl Tpp {
                 break;
             }
         }
+        scratch.into_pool(ctx.memory);
     }
 }
 

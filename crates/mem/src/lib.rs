@@ -75,7 +75,8 @@ pub use telemetry::{
     TraceRecord, WriterSink,
 };
 pub use types::{
-    mib_from_pages, pages_from_mib, NodeId, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB, PAGE_SIZE,
+    mib_from_pages, pages_from_mib, NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB,
+    PAGE_SIZE,
 };
 pub use vmstat::{VmEvent, VmStat};
 pub use watermark::{TppWatermarks, Watermarks, DEFAULT_DEMOTE_SCALE_BP};

@@ -321,24 +321,39 @@ impl NodeLru {
     /// them (a scan window for reclaim heuristics).
     pub fn tail_window(&self, ft: &FrameTable, kind: LruKind, max: usize) -> Vec<Pfn> {
         let mut out = Vec::with_capacity(max.min(self.len(kind) as usize));
+        self.tail_window_into(ft, kind, max, &mut out);
+        out
+    }
+
+    /// Like [`NodeLru::tail_window`], but appends into a caller-owned
+    /// scratch buffer (cleared first) instead of allocating — reclaim and
+    /// demotion call this every tick.
+    pub fn tail_window_into(&self, ft: &FrameTable, kind: LruKind, max: usize, out: &mut Vec<Pfn>) {
+        out.clear();
         let mut cur = self.lists[kind.idx()].tail;
         while cur != Pfn::NONE && out.len() < max {
             out.push(Pfn(cur));
             cur = ft.frame(Pfn(cur)).lru_prev;
         }
-        out
     }
 
     /// Walks the full list from head (MRU) to tail (LRU). Intended for
     /// tests and validation, not hot paths.
     pub fn collect(&self, ft: &FrameTable, kind: LruKind) -> Vec<Pfn> {
         let mut out = Vec::with_capacity(self.len(kind) as usize);
+        self.collect_into(ft, kind, &mut out);
+        out
+    }
+
+    /// Like [`NodeLru::collect`], but reuses a caller-owned buffer
+    /// (cleared first) instead of allocating.
+    pub fn collect_into(&self, ft: &FrameTable, kind: LruKind, out: &mut Vec<Pfn>) {
+        out.clear();
         let mut cur = self.lists[kind.idx()].head;
         while cur != Pfn::NONE {
             out.push(Pfn(cur));
             cur = ft.frame(Pfn(cur)).lru_next;
         }
-        out
     }
 
     /// Exhaustively checks linkage invariants (lengths, back-pointers,
@@ -500,6 +515,19 @@ mod tests {
         assert_eq!(lru.tail_window(&ft, LruKind::AnonInactive, 99).len(), 4);
         // Window does not unlink anything.
         assert_eq!(lru.len(LruKind::AnonInactive), 4);
+    }
+
+    #[test]
+    fn into_variants_clear_and_refill_scratch() {
+        let (mut ft, mut lru, p) = setup(3);
+        for &pfn in &p {
+            lru.push_front(&mut ft, LruKind::AnonInactive, pfn);
+        }
+        let mut scratch = vec![Pfn(999); 7];
+        lru.tail_window_into(&ft, LruKind::AnonInactive, 2, &mut scratch);
+        assert_eq!(scratch, vec![p[0], p[1]]);
+        lru.collect_into(&ft, LruKind::AnonInactive, &mut scratch);
+        assert_eq!(scratch, vec![p[2], p[1], p[0]]);
     }
 
     #[test]

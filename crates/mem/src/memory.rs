@@ -18,7 +18,7 @@ use crate::node::{MemoryNode, NodeKind};
 use crate::page_table::{AddressSpace, PageLocation};
 use crate::swap::{SwapDevice, SwapSlot};
 use crate::telemetry::{EventSink, NullSink, TraceEvent, TraceRecord};
-use crate::types::{NodeId, PageKey, PageType, Pfn, Pid, Vpn};
+use crate::types::{NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn};
 use crate::vmstat::{VmEvent, VmStat};
 use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
 
@@ -148,6 +148,7 @@ impl MemoryBuilder {
             sink: Box::new(NullSink),
             trace_enabled: false,
             trace_now_ns: 0,
+            scratch_pfn_bufs: Vec::new(),
         }
     }
 }
@@ -169,6 +170,9 @@ pub struct Memory {
     trace_enabled: bool,
     /// Simulation time stamped onto emitted records.
     trace_now_ns: u64,
+    /// Pool of reusable `Pfn` buffers for per-tick scans (reclaim,
+    /// demotion). Pure capacity reuse — never observable state.
+    scratch_pfn_bufs: Vec<Vec<Pfn>>,
 }
 
 impl Clone for Memory {
@@ -186,6 +190,7 @@ impl Clone for Memory {
             sink: Box::new(NullSink),
             trace_enabled: false,
             trace_now_ns: self.trace_now_ns,
+            scratch_pfn_bufs: Vec::new(),
         }
     }
 }
@@ -246,7 +251,7 @@ impl Memory {
     }
 
     /// Ids of all CPU-attached (local) nodes.
-    pub fn local_nodes(&self) -> Vec<NodeId> {
+    pub fn local_nodes(&self) -> NodeList {
         self.nodes
             .iter()
             .filter(|n| !n.is_cpu_less())
@@ -255,7 +260,7 @@ impl Memory {
     }
 
     /// Ids of all CPU-less (CXL) nodes.
-    pub fn cxl_nodes(&self) -> Vec<NodeId> {
+    pub fn cxl_nodes(&self) -> NodeList {
         self.nodes
             .iter()
             .filter(|n| n.is_cpu_less())
@@ -265,10 +270,26 @@ impl Memory {
 
     /// The allocation fallback order starting from `from`: `from` itself,
     /// then remaining nodes by id distance (the zonelist analogue).
-    pub fn fallback_order(&self, from: NodeId) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = (0..self.nodes.len()).map(|i| NodeId(i as u8)).collect();
+    pub fn fallback_order(&self, from: NodeId) -> NodeList {
+        let mut ids: NodeList = (0..self.nodes.len()).map(|i| NodeId(i as u8)).collect();
         ids.sort_by_key(|n| ((n.0 as i16 - from.0 as i16).unsigned_abs(), n.0));
         ids
+    }
+
+    /// Borrows an empty, reusable `Pfn` buffer from the scratch pool.
+    ///
+    /// Per-tick scans (reclaim victim selection, demotion batches) hand
+    /// the buffer back via [`Memory::put_pfn_scratch`] when done, so the
+    /// steady state allocates nothing. Forgetting to return a buffer is
+    /// harmless — the next taker just allocates a fresh one.
+    pub fn take_pfn_scratch(&mut self) -> Vec<Pfn> {
+        self.scratch_pfn_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool (cleared, capacity kept).
+    pub fn put_pfn_scratch(&mut self, mut buf: Vec<Pfn>) {
+        buf.clear();
+        self.scratch_pfn_bufs.push(buf);
     }
 
     /// Free pages on `node`.
@@ -866,8 +887,8 @@ mod tests {
             .build();
         assert_eq!(m.node(NodeId(0)).demotion_target(), Some(NodeId(1)));
         assert_eq!(m.node(NodeId(1)).demotion_target(), None);
-        assert_eq!(m.local_nodes(), vec![NodeId(0)]);
-        assert_eq!(m.cxl_nodes(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(m.local_nodes().as_slice(), &[NodeId(0)]);
+        assert_eq!(m.cxl_nodes().as_slice(), &[NodeId(1), NodeId(2)]);
     }
 
     #[test]
@@ -878,12 +899,12 @@ mod tests {
             .node(NodeKind::Cxl, 16)
             .build();
         assert_eq!(
-            m.fallback_order(NodeId(0)),
-            vec![NodeId(0), NodeId(1), NodeId(2)]
+            m.fallback_order(NodeId(0)).as_slice(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
         );
         assert_eq!(
-            m.fallback_order(NodeId(2)),
-            vec![NodeId(2), NodeId(1), NodeId(0)]
+            m.fallback_order(NodeId(2)).as_slice(),
+            &[NodeId(2), NodeId(1), NodeId(0)]
         );
     }
 

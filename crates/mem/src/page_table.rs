@@ -1,7 +1,15 @@
 //! Per-process address spaces: the virtual→physical mapping plus swap
 //! entries, and the registry of processes.
+//!
+//! The mapping is a hand-rolled open-addressed hash table ([`VpnMap`])
+//! rather than `std::collections::HashMap`: every simulated access funnels
+//! through [`AddressSpace::translate`], so the lookup path is the hottest
+//! code in the simulator. The table uses power-of-two capacities,
+//! fibonacci (multiply-shift) hashing, linear probing, and tombstone-free
+//! backshift deletion, and the fault path keeps a one-entry
+//! last-translation cache in front of it.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use crate::swap::SwapSlot;
 use crate::types::{Pfn, Pid, Vpn};
@@ -25,6 +33,156 @@ impl PageLocation {
     }
 }
 
+/// Sentinel marking an empty slot. Valid VPNs never reach `u64::MAX`:
+/// anon regions start at 0 and file regions at `1 << 32`, both far below.
+const EMPTY: u64 = u64::MAX;
+
+/// 2^64 / phi, the fibonacci hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+const MIN_CAP: usize = 8;
+
+/// Open-addressed `Vpn -> PageLocation` table.
+///
+/// Layout: two parallel vectors (keys and values) of power-of-two length.
+/// The home slot of a key is the top `log2(capacity)` bits of
+/// `key * FIB` (multiply-shift), collisions probe linearly, and deletion
+/// backshifts the following probe chain instead of leaving tombstones, so
+/// lookup cost never degrades with churn. Iteration order is slot order —
+/// a pure function of the insertion history, never of a randomized hash
+/// seed, which keeps whole-table walks deterministic across runs.
+#[derive(Clone, Debug)]
+struct VpnMap {
+    keys: Vec<u64>,
+    vals: Vec<PageLocation>,
+    len: usize,
+    /// `64 - log2(capacity)`; multiply-shift uses the top bits.
+    shift: u32,
+}
+
+impl VpnMap {
+    fn new() -> VpnMap {
+        VpnMap {
+            keys: vec![EMPTY; MIN_CAP],
+            vals: vec![PageLocation::Mapped(Pfn(0)); MIN_CAP],
+            len: 0,
+            shift: 64 - MIN_CAP.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<PageLocation> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: PageLocation) -> Option<PageLocation> {
+        debug_assert_ne!(key, EMPTY, "Vpn(u64::MAX) collides with the empty sentinel");
+        // Grow before the load factor exceeds 3/4 so probe chains stay short.
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[i], val));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<PageLocation> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                return None;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let old = self.vals[i];
+        self.len -= 1;
+        // Backshift deletion: slide each following chain member into the
+        // hole unless that would move it before its home slot.
+        let mut hole = i;
+        let mut j = (i + 1) & mask;
+        loop {
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            let home = self.home(k);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.keys[hole] = EMPTY;
+        Some(old)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals =
+            std::mem::replace(&mut self.vals, vec![PageLocation::Mapped(Pfn(0)); new_cap]);
+        self.shift -= 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, PageLocation)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+    }
+}
+
 /// One process' page table.
 ///
 /// # Examples
@@ -41,9 +199,12 @@ impl PageLocation {
 #[derive(Clone, Debug)]
 pub struct AddressSpace {
     pid: Pid,
-    map: HashMap<Vpn, PageLocation>,
+    map: VpnMap,
     resident: u64,
     swapped: u64,
+    /// One-entry last-translation cache: workloads re-touch the same page
+    /// in bursts, and the sampler walks pages it just translated.
+    last: Cell<Option<(Vpn, PageLocation)>>,
 }
 
 impl AddressSpace {
@@ -51,9 +212,10 @@ impl AddressSpace {
     pub fn new(pid: Pid) -> AddressSpace {
         AddressSpace {
             pid,
-            map: HashMap::new(),
+            map: VpnMap::new(),
             resident: 0,
             swapped: 0,
+            last: Cell::new(None),
         }
     }
 
@@ -66,7 +228,14 @@ impl AddressSpace {
     /// Looks up where `vpn` lives, if anywhere.
     #[inline]
     pub fn translate(&self, vpn: Vpn) -> Option<PageLocation> {
-        self.map.get(&vpn).copied()
+        if let Some((v, loc)) = self.last.get() {
+            if v == vpn {
+                return Some(loc);
+            }
+        }
+        let loc = self.map.get(vpn.0)?;
+        self.last.set(Some((vpn, loc)));
+        Some(loc)
     }
 
     /// Number of resident (mapped) pages.
@@ -91,9 +260,11 @@ impl AddressSpace {
     ///
     /// Returns the previous location, if any.
     pub fn map(&mut self, vpn: Vpn, pfn: Pfn) -> Option<PageLocation> {
-        let prev = self.map.insert(vpn, PageLocation::Mapped(pfn));
+        let loc = PageLocation::Mapped(pfn);
+        let prev = self.map.insert(vpn.0, loc);
         self.account_remove(prev);
         self.resident += 1;
+        self.last.set(Some((vpn, loc)));
         prev
     }
 
@@ -101,16 +272,23 @@ impl AddressSpace {
     ///
     /// Returns the previous location, if any.
     pub fn set_swapped(&mut self, vpn: Vpn, slot: SwapSlot) -> Option<PageLocation> {
-        let prev = self.map.insert(vpn, PageLocation::Swapped(slot));
+        let loc = PageLocation::Swapped(slot);
+        let prev = self.map.insert(vpn.0, loc);
         self.account_remove(prev);
         self.swapped += 1;
+        self.last.set(Some((vpn, loc)));
         prev
     }
 
     /// Removes the entry for `vpn`, returning where it was.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<PageLocation> {
-        let prev = self.map.remove(&vpn);
+        let prev = self.map.remove(vpn.0);
         self.account_remove(prev);
+        if let Some((v, _)) = self.last.get() {
+            if v == vpn {
+                self.last.set(None);
+            }
+        }
         prev
     }
 
@@ -122,16 +300,25 @@ impl AddressSpace {
         }
     }
 
-    /// Iterates all entries in unspecified order.
+    /// Iterates all entries in unspecified (but deterministic) order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageLocation)> + '_ {
-        self.map.iter().map(|(&v, &l)| (v, l))
+        self.map.iter().map(|(v, l)| (Vpn(v), l))
     }
 
     /// Collects all VPNs, sorted (for deterministic scanning).
     pub fn sorted_vpns(&self) -> Vec<Vpn> {
-        let mut v: Vec<Vpn> = self.map.keys().copied().collect();
-        v.sort();
+        let mut v = Vec::new();
+        self.sorted_vpns_into(&mut v);
         v
+    }
+
+    /// Like [`AddressSpace::sorted_vpns`], but reuses `out` instead of
+    /// allocating — the sampler calls this every scan tick.
+    pub fn sorted_vpns_into(&self, out: &mut Vec<Vpn>) {
+        out.clear();
+        out.reserve(self.map.len());
+        out.extend(self.map.iter().map(|(v, _)| Vpn(v)));
+        out.sort_unstable();
     }
 }
 
@@ -191,11 +378,111 @@ mod tests {
             s.map(Vpn(v), Pfn(v as u32));
         }
         assert_eq!(s.sorted_vpns(), vec![Vpn(1), Vpn(3), Vpn(7), Vpn(9)]);
+        // The `_into` variant reuses the buffer and fully replaces it.
+        let mut buf = vec![Vpn(999)];
+        s.sorted_vpns_into(&mut buf);
+        assert_eq!(buf, vec![Vpn(1), Vpn(3), Vpn(7), Vpn(9)]);
     }
 
     #[test]
     fn page_location_pfn_helper() {
         assert_eq!(PageLocation::Mapped(Pfn(4)).pfn(), Some(Pfn(4)));
         assert_eq!(PageLocation::Swapped(SwapSlot(1)).pfn(), None);
+    }
+
+    #[test]
+    fn translate_cache_tracks_remap_swap_and_unmap() {
+        let mut s = AddressSpace::new(Pid(1));
+        s.map(Vpn(5), Pfn(7));
+        // Prime the one-entry cache, then mutate through every path and
+        // check translate never serves a stale location.
+        assert_eq!(s.translate(Vpn(5)), Some(PageLocation::Mapped(Pfn(7))));
+        s.map(Vpn(5), Pfn(8));
+        assert_eq!(s.translate(Vpn(5)), Some(PageLocation::Mapped(Pfn(8))));
+        s.set_swapped(Vpn(5), SwapSlot(2));
+        assert_eq!(
+            s.translate(Vpn(5)),
+            Some(PageLocation::Swapped(SwapSlot(2)))
+        );
+        s.unmap(Vpn(5));
+        assert_eq!(s.translate(Vpn(5)), None);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = AddressSpace::new(Pid(1));
+        a.map(Vpn(1), Pfn(10));
+        let b = a.clone();
+        a.unmap(Vpn(1));
+        assert_eq!(b.translate(Vpn(1)), Some(PageLocation::Mapped(Pfn(10))));
+        assert_eq!(a.translate(Vpn(1)), None);
+    }
+
+    /// Churn the open-addressed table against a `HashMap` reference model
+    /// with a deterministic LCG driving inserts, overwrites, removals, and
+    /// lookups across several growth boundaries.
+    #[test]
+    fn vpn_map_matches_reference_model_under_churn() {
+        use std::collections::HashMap;
+
+        let mut lcg: u64 = 0x1234_5678_9abc_def0;
+        let mut step = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 16
+        };
+        let mut ours = VpnMap::new();
+        let mut model: HashMap<u64, PageLocation> = HashMap::new();
+        for _ in 0..20_000 {
+            let r = step();
+            // Small key domain forces heavy collision/overwrite/remove mix;
+            // include keys offset by 1 << 32 to mimic file-region VPNs.
+            let key = (r % 512) + if r & 1 == 0 { 1 << 32 } else { 0 };
+            match (r >> 9) % 4 {
+                0 | 1 => {
+                    let val = PageLocation::Mapped(Pfn((r >> 20) as u32));
+                    assert_eq!(ours.insert(key, val), model.insert(key, val));
+                }
+                2 => {
+                    assert_eq!(ours.remove(key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(ours.get(key), model.get(&key).copied());
+                }
+            }
+            assert_eq!(ours.len(), model.len());
+        }
+        // Full-table walk agrees with the model.
+        let mut walked: Vec<(u64, PageLocation)> = ours.iter().collect();
+        walked.sort_by_key(|&(k, _)| k);
+        let mut expected: Vec<(u64, PageLocation)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        expected.sort_by_key(|&(k, _)| k);
+        assert_eq!(walked, expected);
+    }
+
+    #[test]
+    fn vpn_map_survives_growth_with_dense_keys() {
+        let mut m = VpnMap::new();
+        for i in 0..10_000u64 {
+            assert_eq!(m.insert(i, PageLocation::Mapped(Pfn(i as u32))), None);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i), Some(PageLocation::Mapped(Pfn(i as u32))));
+        }
+        // Delete every other key, then verify the survivors still resolve
+        // (backshift must not break probe chains).
+        for i in (0..10_000u64).step_by(2) {
+            assert!(m.remove(i).is_some());
+        }
+        for i in 0..10_000u64 {
+            let want = if i % 2 == 1 {
+                Some(PageLocation::Mapped(Pfn(i as u32)))
+            } else {
+                None
+            };
+            assert_eq!(m.get(i), want);
+        }
     }
 }

@@ -103,6 +103,107 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// A small, inline list of node ids.
+///
+/// Node-set queries (`local_nodes`, `cxl_nodes`, `fallback_order`) run on
+/// the fault path, once per simulated access; returning a heap `Vec` there
+/// dominated the allocator profile. Machines have a handful of nodes, so
+/// the list is a fixed array that dereferences to `[NodeId]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeList {
+    ids: [NodeId; NodeList::CAPACITY],
+    len: u8,
+}
+
+impl Default for NodeList {
+    fn default() -> NodeList {
+        NodeList::new()
+    }
+}
+
+impl NodeList {
+    /// Maximum number of nodes a machine can have.
+    pub const CAPACITY: usize = 8;
+
+    /// Creates an empty list.
+    pub fn new() -> NodeList {
+        NodeList {
+            ids: [NodeId(0); NodeList::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Appends a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full ([`NodeList::CAPACITY`] entries).
+    pub fn push(&mut self, id: NodeId) {
+        assert!(
+            (self.len as usize) < NodeList::CAPACITY,
+            "machine has more than {} nodes",
+            NodeList::CAPACITY
+        );
+        self.ids[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    /// The ids as a slice (also available through deref).
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.ids[..self.len as usize]
+    }
+
+    /// Sorts the list with a key function (insertion sort: the list is
+    /// tiny and this keeps the type `Copy`).
+    pub fn sort_by_key<K: Ord>(&mut self, key: impl Fn(NodeId) -> K) {
+        let n = self.len as usize;
+        for i in 1..n {
+            let mut j = i;
+            while j > 0 && key(self.ids[j - 1]) > key(self.ids[j]) {
+                self.ids.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for NodeList {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for NodeList {
+    type Item = NodeId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<NodeId, { NodeList::CAPACITY }>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeList {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<NodeId> for NodeList {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> NodeList {
+        let mut list = NodeList::new();
+        for id in iter {
+            list.push(id);
+        }
+        list
+    }
+}
+
 /// A process identifier.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u32);
@@ -224,5 +325,31 @@ mod tests {
     fn node_local_is_zero() {
         assert_eq!(NodeId::LOCAL, NodeId(0));
         assert_eq!(NodeId::LOCAL.index(), 0);
+    }
+
+    #[test]
+    fn node_list_push_iter_sort() {
+        let mut l = NodeList::new();
+        for id in [2u8, 0, 1] {
+            l.push(NodeId(id));
+        }
+        assert_eq!(l.as_slice(), &[NodeId(2), NodeId(0), NodeId(1)]);
+        l.sort_by_key(|n| n.0);
+        assert_eq!(l.as_slice(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        // Both by-value and by-ref iteration work.
+        assert_eq!(l.into_iter().count(), 3);
+        assert_eq!((&l).into_iter().count(), 3);
+        assert_eq!(l.first(), Some(&NodeId(0)));
+        let collected: NodeList = [NodeId(5)].into_iter().collect();
+        assert_eq!(collected.as_slice(), &[NodeId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn node_list_overflow_panics() {
+        let mut l = NodeList::new();
+        for id in 0..=NodeList::CAPACITY as u8 {
+            l.push(NodeId(id));
+        }
     }
 }

@@ -171,7 +171,7 @@ impl VmEvent {
 /// assert_eq!(vs.get(VmEvent::PgDemoteAnon), 1);
 /// assert_eq!(vs.demoted_total(), 4);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VmStat {
     counters: [u64; VmEvent::COUNT],
 }

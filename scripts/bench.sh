@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Performance snapshot: the substrate microbench suite plus a timed
+# standard-scale `repro` run, merged into one JSON report (default:
+# BENCH_repro.json at the repo root, which is checked in).
+#
+# The microbench section carries its own before/after pair: the
+# `hashmap_*_baseline` entries measure the std::collections::HashMap page
+# table the open-addressed VpnMap replaced, under the identical load.
+#
+#   scripts/bench.sh [output.json]     # JOBS=4 scripts/bench.sh to pin jobs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_repro.json}"
+JOBS="${JOBS:-$(nproc)}"
+
+cargo build --release -q -p tpp-bench --benches --bin repro
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "running substrate microbenches..." >&2
+cargo bench -q -p tpp-bench --bench substrate 2>/dev/null | tee "$tmp/micro.txt" >&2
+
+echo "running standard-scale repro (--jobs $JOBS)..." >&2
+./target/release/repro all --jobs "$JOBS" --csv "$tmp/results" \
+  --timings-json "$tmp/repro.json" >"$tmp/repro.out"
+
+# Assemble the report: host info, the microbench medians (ns/iter), and
+# the repro timing JSON verbatim.
+{
+  echo "{"
+  echo "  \"host\": {\"cpus\": $(nproc), \"os\": \"$(uname -sr)\"},"
+  echo "  \"microbench_median_ns_per_iter\": {"
+  awk '/ns\/iter/ {
+         v = $2                            # median, e.g. "35" or "55.8us"
+         if (v ~ /us$/)      { sub(/us$/, "", v); v *= 1000 }
+         else if (v ~ /ms$/) { sub(/ms$/, "", v); v *= 1000000 }
+         else if (v ~ /s$/)  { sub(/s$/, "", v);  v *= 1000000000 }
+         printf "%s    \"%s\": %s", sep, $1, v; sep = ",\n"
+       } END { print "" }' "$tmp/micro.txt"
+  echo "  },"
+  echo "  \"repro\":"
+  sed 's/^/  /' "$tmp/repro.json"
+  echo "}"
+} >"$OUT"
+
+echo "report written to $OUT" >&2

@@ -7,3 +7,22 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q --workspace
+
+# Executor determinism gate: a reduced-scale repro must produce
+# byte-identical tables with and without the parallel executor. (The
+# checked-in expected/ snapshots are standard-scale, so the quick run is
+# gated against itself: --jobs 1 vs --jobs 2.)
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo build --release -q -p tpp-bench --bin repro
+./target/release/repro all --quick --jobs 1 --csv "$tmp/j1" >"$tmp/j1.out" 2>/dev/null
+./target/release/repro all --quick --jobs 2 --csv "$tmp/j2" >"$tmp/j2.out" 2>/dev/null
+diff -r "$tmp/j1" "$tmp/j2" >/dev/null || {
+  echo "executor determinism gate FAILED: --jobs 2 CSV tables differ from --jobs 1" >&2
+  exit 1
+}
+diff "$tmp/j1.out" "$tmp/j2.out" >/dev/null || {
+  echo "executor determinism gate FAILED: --jobs 2 stdout differs from --jobs 1" >&2
+  exit 1
+}
+echo "executor determinism gate: --jobs 2 output byte-identical to --jobs 1"

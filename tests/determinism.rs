@@ -87,6 +87,68 @@ fn identical_seeds_produce_byte_identical_jsonl_traces() {
     assert_ne!(a, jsonl_trace(78));
 }
 
+/// The Cache1 1:4 TPP cell as a [`CellSpec`], streaming its JSONL trace
+/// to `trace_path` (the sink factory must be `Send + Sync`, so it writes
+/// to a file rather than a shared in-process buffer).
+fn traced_spec(seed: u64, trace_path: std::path::PathBuf) -> tpp::experiment::CellSpec {
+    use tiered_mem::telemetry::EventSink;
+    let profile = tiered_workloads::cache1(3_000);
+    let ws = profile.working_set_pages();
+    tpp::experiment::CellSpec::new(
+        profile,
+        move || configs::one_to_four(ws),
+        PolicyChoice::Tpp,
+        10 * SEC,
+        seed,
+    )
+    .with_sink(move || {
+        Box::new(WriterSink::to_file(&trace_path).expect("trace file opens")) as Box<dyn EventSink>
+    })
+}
+
+#[test]
+fn executor_at_four_jobs_matches_sequential_byte_for_byte() {
+    // Four Cache1 1:4 cells under TPP (distinct seeds), each streaming
+    // its full JSONL trace: run the batch sequentially and on the
+    // 4-worker executor, then require byte-identical traces and
+    // identical reduced results.
+    let dir = std::env::temp_dir().join(format!("tpp_exec_det_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let seeds = [101u64, 102, 103, 104];
+    let path = |tag: &str, seed: u64| dir.join(format!("{tag}_{seed}.jsonl"));
+
+    let seq_specs: Vec<_> = seeds
+        .iter()
+        .map(|&s| traced_spec(s, path("seq", s)))
+        .collect();
+    let seq: Vec<_> = seq_specs.iter().map(|s| s.run().unwrap()).collect();
+
+    let par_specs: Vec<_> = seeds
+        .iter()
+        .map(|&s| traced_spec(s, path("par", s)))
+        .collect();
+    let par: Vec<_> = tpp_bench::executor::run_cells(4, &par_specs)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    for (i, &seed) in seeds.iter().enumerate() {
+        let a = std::fs::read(path("seq", seed)).unwrap();
+        let b = std::fs::read(path("par", seed)).unwrap();
+        assert!(!a.is_empty(), "trace for seed {seed} must not be empty");
+        assert_eq!(a, b, "seed {seed}: executor trace diverged from sequential");
+        assert_eq!(seq[i].policy, par[i].policy);
+        assert_eq!(seq[i].throughput, par[i].throughput);
+        assert_eq!(seq[i].local_traffic, par[i].local_traffic);
+        assert_eq!(seq[i].avg_latency_ns, par[i].avg_latency_ns);
+        assert_eq!(
+            seq[i].vmstat, par[i].vmstat,
+            "seed {seed}: vmstat counters diverged under the executor"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn policies_share_the_same_workload_stream_per_seed() {
     // Two different policies under the same seed must see the same op
