@@ -37,6 +37,12 @@ pub struct System {
     daemon_timer: Periodic,
     sample_timer: Periodic,
     metrics: RunMetrics,
+    /// Per-node access latency, indexed by `NodeId` — node latencies are
+    /// fixed at machine-build time, so the access fast path reads this
+    /// array instead of chasing `memory.node(node)` per access.
+    node_latency_ns: Vec<u64>,
+    /// Whether each node is CPU-attached, indexed by `NodeId`.
+    node_is_local: Vec<bool>,
 }
 
 impl System {
@@ -57,7 +63,7 @@ impl System {
         let mut memory = memory;
         memory.create_process(workload.pid());
         let daemon_timer = Periodic::new(policy.tick_period_ns());
-        Ok(System {
+        let mut system = System {
             memory,
             policy,
             workload,
@@ -67,7 +73,25 @@ impl System {
             daemon_timer,
             sample_timer: Periodic::new(RunMetrics::sample_period_ns()),
             metrics: RunMetrics::new(),
-        })
+            node_latency_ns: Vec::new(),
+            node_is_local: Vec::new(),
+        };
+        system.refresh_node_cache();
+        Ok(system)
+    }
+
+    /// Rebuilds the per-node latency/locality arrays from the machine.
+    /// Node latencies are only set during machine construction, but the
+    /// refresh is cheap enough to rerun at the top of every `run` for
+    /// robustness against future mutable-latency machines.
+    fn refresh_node_cache(&mut self) {
+        self.node_latency_ns.clear();
+        self.node_is_local.clear();
+        for i in 0..self.memory.node_count() {
+            let node = self.memory.node(tiered_mem::NodeId(i as u8));
+            self.node_latency_ns.push(node.latency_ns());
+            self.node_is_local.push(!node.is_cpu_less());
+        }
     }
 
     /// Overrides the operation-cost model.
@@ -116,10 +140,14 @@ impl System {
     /// Runs for `duration_ns`, reporting every resolved access to `obs`
     /// (e.g. a Chameleon profiler).
     pub fn run_observed(&mut self, duration_ns: u64, obs: &mut dyn AccessObserver) {
+        self.refresh_node_cache();
         let end = self.clock.now_ns() + duration_ns;
+        // Trace timestamps advance with the clock below; seed the initial
+        // value once rather than re-setting it at the top of every
+        // iteration (it would only repeat the post-advance update).
+        self.memory.set_trace_now(self.clock.now_ns());
         while self.clock.now_ns() < end {
             let now = self.clock.now_ns();
-            self.memory.set_trace_now(now);
             let op = self.workload.next_op(now, &mut self.rng);
             let mut mem_ns = 0u64;
             for event in &op.events {
@@ -154,10 +182,60 @@ impl System {
         }
     }
 
+    /// Resolves one access exactly as the run loop would (for
+    /// benchmarking the resolution hot path in isolation). Returns the
+    /// latency charged to the op.
+    pub fn resolve_access(&mut self, now_ns: u64, access: &Access) -> u64 {
+        self.execute_access(now_ns, access, &mut NullObserver)
+    }
+
     /// Resolves one access: fault if unmapped/swapped, hint-fault
     /// handling, reference bookkeeping. Returns the latency charged to
     /// the op.
+    ///
+    /// The overwhelmingly common case — page mapped, no hint PTE — is a
+    /// branch-light fast path: one frame lookup resolves the node and
+    /// flags, one write-back records the touch, and the per-node latency
+    /// comes from the prebuilt arrays. Everything else (faults, hint
+    /// faults) falls through to [`System::execute_access_slow`].
     fn execute_access(&mut self, now: u64, access: &Access, obs: &mut dyn AccessObserver) -> u64 {
+        if let Some(PageLocation::Mapped(pfn)) = self.memory.space(access.pid).translate(access.vpn)
+        {
+            let frame = self.memory.frames_mut().frame_mut(pfn);
+            if !frame.flags().contains(PageFlags::HINTED) {
+                let mark = if access.kind == AccessKind::Store {
+                    PageFlags::REFERENCED | PageFlags::DIRTY
+                } else {
+                    PageFlags::REFERENCED
+                };
+                frame.flags_mut().insert(mark);
+                frame.touch_hotness();
+                frame.set_last_access_ns(now);
+                let node = frame.node();
+                let node_latency = self.node_latency_ns[node.index()];
+                self.metrics.note_access(
+                    self.node_is_local[node.index()],
+                    access.page_type.is_anon(),
+                    node_latency,
+                );
+                obs.on_access(now, access, node);
+                // One workload access stands for a bundle of LLC misses
+                // (see `LatencyModel::access_bundle`); metrics record the
+                // per-miss latency, the op is charged the whole stall.
+                return node_latency * self.latency.access_bundle;
+            }
+        }
+        self.execute_access_slow(now, access, obs)
+    }
+
+    /// The uncommon cases: page fault (first touch or swap-in) and NUMA
+    /// hint faults, both of which need a [`PolicyCtx`].
+    fn execute_access_slow(
+        &mut self,
+        now: u64,
+        access: &Access,
+        obs: &mut dyn AccessObserver,
+    ) -> u64 {
         let mut cost = 0u64;
         let mut pfn = match self.memory.space(access.pid).translate(access.vpn) {
             Some(PageLocation::Mapped(pfn)) => pfn,

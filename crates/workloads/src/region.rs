@@ -12,6 +12,8 @@
 //!   window's cycle period),
 //! * usage patterns stay steady over time (Figure 9).
 
+use std::cell::Cell;
+
 use tiered_mem::{PageType, Vpn};
 use tiered_sim::{AccessKind, SimRng, SEC};
 
@@ -85,11 +87,33 @@ impl RegionSpec {
     }
 }
 
+/// Snapshot of the window geometry for one epoch.
+///
+/// The geometry only changes when the dwell step advances or the growth
+/// formula adds a page — at most a handful of times per simulated second,
+/// versus millions of accesses. Caching the derived values keyed on
+/// `(step, grown)` keeps the float math off the per-access path while
+/// producing bit-identical results: the cached values come from exactly
+/// the arithmetic the accessors used to run per call.
+#[derive(Clone, Copy, Debug)]
+struct Geometry {
+    /// Dwell step (`now_ns / dwell_ns`) this snapshot was computed for.
+    step: u64,
+    /// Growth tick (pages added so far) this snapshot was computed for.
+    grown: u64,
+    allocated: u64,
+    window: u64,
+    start: u64,
+}
+
 /// Runtime sampler for one region.
 #[derive(Clone, Debug)]
 pub struct WindowedRegion {
     spec: RegionSpec,
     zipf: ZipfSampler,
+    /// `(pages * initial_frac) as u64`, hoisted out of the growth formula.
+    initial_pages: u64,
+    geo: Cell<Option<Geometry>>,
 }
 
 impl WindowedRegion {
@@ -107,7 +131,46 @@ impl WindowedRegion {
         );
         let max_window = ((spec.pages as f64 * spec.window_frac) as u64).max(1);
         let zipf = ZipfSampler::new(max_window, spec.zipf_skew);
-        WindowedRegion { spec, zipf }
+        let initial_pages = match spec.growth {
+            None => spec.pages,
+            Some(g) => (spec.pages as f64 * g.initial_frac) as u64,
+        };
+        WindowedRegion {
+            spec,
+            zipf,
+            initial_pages,
+            geo: Cell::new(None),
+        }
+    }
+
+    /// The window geometry at `now_ns`, recomputed only when the dwell
+    /// step or growth tick changes since the last call.
+    fn geometry(&self, now_ns: u64) -> Geometry {
+        let step = now_ns / self.spec.dwell_ns;
+        let grown = match self.spec.growth {
+            None => 0,
+            Some(g) => (now_ns as f64 / SEC as f64 * g.pages_per_sec) as u64,
+        };
+        if let Some(geo) = self.geo.get() {
+            if geo.step == step && geo.grown == grown {
+                return geo;
+            }
+        }
+        let allocated = match self.spec.growth {
+            None => self.spec.pages,
+            Some(_) => (self.initial_pages + grown).min(self.spec.pages).max(1),
+        };
+        let window = ((allocated as f64 * self.spec.window_frac) as u64).max(1);
+        let start = (self.spec.pages / 2 + step.wrapping_mul(self.spec.step_pages)) % allocated;
+        let geo = Geometry {
+            step,
+            grown,
+            allocated,
+            window,
+            start,
+        };
+        self.geo.set(Some(geo));
+        geo
     }
 
     /// The region's static description.
@@ -117,19 +180,12 @@ impl WindowedRegion {
 
     /// Pages allocated (touchable) at `now_ns`, honouring growth.
     pub fn allocated_pages(&self, now_ns: u64) -> u64 {
-        match self.spec.growth {
-            None => self.spec.pages,
-            Some(g) => {
-                let initial = (self.spec.pages as f64 * g.initial_frac) as u64;
-                let grown = (now_ns as f64 / SEC as f64 * g.pages_per_sec) as u64;
-                (initial + grown).min(self.spec.pages).max(1)
-            }
-        }
+        self.geometry(now_ns).allocated
     }
 
     /// Current hot-window size in pages.
     pub fn window_pages(&self, now_ns: u64) -> u64 {
-        ((self.allocated_pages(now_ns) as f64 * self.spec.window_frac) as u64).max(1)
+        self.geometry(now_ns).window
     }
 
     /// First page offset of the hot window at `now_ns`.
@@ -139,9 +195,7 @@ impl WindowedRegion {
     /// are *not* conveniently the pages that happened to land on the
     /// local node during warm-up.
     pub fn window_start(&self, now_ns: u64) -> u64 {
-        let allocated = self.allocated_pages(now_ns);
-        let steps = now_ns / self.spec.dwell_ns;
-        (self.spec.pages / 2 + steps.wrapping_mul(self.spec.step_pages)) % allocated
+        self.geometry(now_ns).start
     }
 
     /// Time for the window to cycle the entire (full-size) region once —
@@ -157,7 +211,8 @@ impl WindowedRegion {
 
     /// Draws one access at `now_ns`.
     pub fn sample(&self, now_ns: u64, rng: &mut SimRng) -> (Vpn, AccessKind) {
-        let allocated = self.allocated_pages(now_ns);
+        let geo = self.geometry(now_ns);
+        let allocated = geo.allocated;
         let offset = if self.spec.tail_weight > 0.0 && rng.chance(self.spec.tail_weight) {
             // Sporadic one-off touch anywhere in the region.
             rng.range(0..allocated)
@@ -166,10 +221,8 @@ impl WindowedRegion {
             let frontier = ((allocated as f64 * self.spec.frontier_frac) as u64).max(1);
             allocated - 1 - rng.range(0..frontier)
         } else {
-            let window = self.window_pages(now_ns);
-            let start = self.window_start(now_ns);
-            let rank = self.zipf.sample(rng) % window;
-            (start + rank) % allocated
+            let rank = self.zipf.sample(rng) % geo.window;
+            (geo.start + rank) % allocated
         };
         let vpn = Vpn(self.spec.base_vpn + offset);
         let kind = if rng.chance(self.spec.store_frac) {
@@ -234,7 +287,33 @@ mod tests {
         let s0 = r.window_start(0);
         let s1 = r.window_start(r.spec().dwell_ns);
         assert_ne!(s0, s1);
-        assert_eq!((s1 - s0) % r.spec().step_pages, 0);
+        // One dwell moves the start by exactly step_pages, modulo the
+        // allocated span (plain `s1 - s0` underflows when the window
+        // wraps).
+        let allocated = r.allocated_pages(0);
+        let dist = (s1 + allocated - s0) % allocated;
+        assert_eq!(dist, r.spec().step_pages % allocated);
+    }
+
+    #[test]
+    fn cached_geometry_matches_fresh_computation() {
+        // A long-lived region (warm cache, hits and misses interleaved)
+        // must report exactly what a cold region reports at every instant.
+        let mut spec = RegionSpec::steady(0, 10_000, PageType::Anon, 0.3);
+        spec.growth = Some(Growth {
+            initial_frac: 0.2,
+            pages_per_sec: 37.5,
+        });
+        let cached = WindowedRegion::new(spec.clone());
+        for i in 0..2_000u64 {
+            // Sub-dwell strides so most queries hit the cache, with
+            // occasional jumps (including backwards) forcing misses.
+            let t = (i % 7) * SEC / 2 + (i / 7) * 11 * SEC;
+            let fresh = WindowedRegion::new(spec.clone());
+            assert_eq!(cached.allocated_pages(t), fresh.allocated_pages(t), "t={t}");
+            assert_eq!(cached.window_pages(t), fresh.window_pages(t), "t={t}");
+            assert_eq!(cached.window_start(t), fresh.window_start(t), "t={t}");
+        }
     }
 
     #[test]

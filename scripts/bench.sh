@@ -21,16 +21,21 @@ trap 'rm -rf "$tmp"' EXIT
 
 echo "running substrate microbenches..." >&2
 cargo bench -q -p tpp-bench --bench substrate 2>/dev/null | tee "$tmp/micro.txt" >&2
+echo "running hotpath microbenches..." >&2
+cargo bench -q -p tpp-bench --bench hotpath 2>/dev/null | tee -a "$tmp/micro.txt" >&2
 
 echo "running standard-scale repro (--jobs $JOBS)..." >&2
 ./target/release/repro all --jobs "$JOBS" --csv "$tmp/results" \
   --timings-json "$tmp/repro.json" >"$tmp/repro.out"
 
-# Assemble the report: host info, the microbench medians (ns/iter), and
-# the repro timing JSON verbatim.
+# Assemble the report: host info (including the revision the numbers
+# were measured at), the microbench medians (ns/iter), and the repro
+# timing JSON verbatim.
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git diff --quiet HEAD 2>/dev/null || GIT_REV="$GIT_REV-dirty"
 {
   echo "{"
-  echo "  \"host\": {\"cpus\": $(nproc), \"os\": \"$(uname -sr)\"},"
+  echo "  \"host\": {\"cpus\": $(nproc), \"os\": \"$(uname -sr)\", \"git_rev\": \"$GIT_REV\"},"
   echo "  \"microbench_median_ns_per_iter\": {"
   awk '/ns\/iter/ {
          v = $2                            # median, e.g. "35" or "55.8us"
@@ -46,3 +51,10 @@ echo "running standard-scale repro (--jobs $JOBS)..." >&2
 } >"$OUT"
 
 echo "report written to $OUT" >&2
+
+# Make regressions visible in review: print the delta against the
+# checked-in baseline (skipped when the report IS the committed one).
+if git show HEAD:BENCH_repro.json >"$tmp/baseline.json" 2>/dev/null; then
+  echo "delta vs BENCH_repro.json at HEAD:" >&2
+  scripts/bench_delta.sh "$tmp/baseline.json" "$OUT" >&2 || true
+fi

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Prints the throughput delta between two bench.sh reports: the
+# end-to-end aggregate simulated accesses/s plus every microbench row
+# present in both files. Used by bench.sh (new run vs the checked-in
+# baseline) and check.sh (working-tree BENCH_repro.json vs HEAD).
+#
+#   scripts/bench_delta.sh <baseline.json> <new.json>
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: scripts/bench_delta.sh <baseline.json> <new.json>" >&2
+  exit 2
+fi
+
+# Flattens a report into "key value" lines: one per microbench row
+# (ns/iter) plus the aggregate_ops_per_s figure.
+extract() {
+  awk '
+    /"microbench_median_ns_per_iter"/ { inmb = 1; next }
+    inmb && /}/ { inmb = 0 }
+    inmb {
+      line = $0
+      gsub(/[",:]/, " ", line)
+      n = split(line, f, " ")
+      if (n >= 2) printf "%s %s\n", f[1], f[2]
+    }
+    /"aggregate_ops_per_s"/ {
+      line = $0
+      gsub(/[",:]/, " ", line)
+      split(line, f, " ")
+      printf "aggregate_ops_per_s %s\n", f[2]
+    }
+  ' "$1"
+}
+
+join <(extract "$1" | sort -k1,1) <(extract "$2" | sort -k1,1) | awk '
+  $1 == "aggregate_ops_per_s" {
+    printf "%-52s %11.0f -> %11.0f /s  %+7.1f%%  (%.2fx)\n",
+           $1, $2, $3, ($3 - $2) / $2 * 100, $3 / $2
+    next
+  }
+  {
+    printf "%-52s %11.1f -> %11.1f ns  %+7.1f%%\n",
+           $1, $2, $3, ($3 - $2) / $2 * 100
+  }
+'

@@ -7,6 +7,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q --workspace
+# Benches must at least compile (running them is bench.sh's job).
+cargo bench --no-run -q -p tpp-bench
 
 # Executor determinism gate: a reduced-scale repro must produce
 # byte-identical tables with and without the parallel executor. (The
@@ -26,3 +28,12 @@ diff "$tmp/j1.out" "$tmp/j2.out" >/dev/null || {
   exit 1
 }
 echo "executor determinism gate: --jobs 2 output byte-identical to --jobs 1"
+
+# If this change regenerated the checked-in bench report, surface the
+# throughput delta for review.
+if ! git diff --quiet HEAD -- BENCH_repro.json 2>/dev/null; then
+  if git show HEAD:BENCH_repro.json >"$tmp/bench_baseline.json" 2>/dev/null; then
+    echo "BENCH_repro.json changed; delta vs HEAD:"
+    scripts/bench_delta.sh "$tmp/bench_baseline.json" BENCH_repro.json || true
+  fi
+fi
