@@ -6,8 +6,8 @@
 //! cargo run --release -p tpp-bench --bin repro -- --trace /tmp/t.jsonl
 //! ```
 //!
-//! Tables are exported as CSV into `results/` (override with `--csv
-//! <dir>`). At standard scale, produced tables are compared against the
+//! Tables are exported as CSV into `results/` (override with
+//! `--csv <dir>`). At standard scale, produced tables are compared against the
 //! checked-in snapshots in `crates/bench/expected/`; the run exits
 //! non-zero if any figure deviates beyond tolerance.
 //!
@@ -26,6 +26,51 @@ use tpp_bench::charfig;
 use tpp_bench::evalfig;
 use tpp_bench::sweeps;
 use tpp_bench::Scale;
+
+/// Every runnable experiment target, in `all` execution order, with a
+/// one-line description (`repro --list`).
+const TARGETS: &[(&str, &str)] = &[
+    (
+        "fig2",
+        "memory-tier latency hierarchy of the simulated machine",
+    ),
+    (
+        "fig7",
+        "total tracked memory vs. memory accessed in 1-/2-interval windows",
+    ),
+    ("fig8", "per-page-type hotness within a 2-interval window"),
+    ("fig9", "anon/file shares of resident memory over time"),
+    ("fig10", "throughput vs. page-type utilisation per interval"),
+    ("fig11", "re-access-interval CDF per workload"),
+    (
+        "fig15",
+        "production 2:1 machine, Linux vs TPP, all four workloads",
+    ),
+    ("fig16", "memory expansion 1:4, Cache workloads"),
+    (
+        "fig17",
+        "ablation: allocation/reclamation watermark decoupling",
+    ),
+    ("fig18", "ablation: active-LRU promotion filter"),
+    ("table1", "page-type-aware allocation (caches to CXL)"),
+    ("fig19", "TPP vs NUMA balancing vs AutoTiering"),
+    ("reclaim_rate", "reclaim mechanism rate probe (paper: ~44x)"),
+    ("zswap", "CXL as swap pool vs CXL as memory"),
+    (
+        "colocation",
+        "co-located cache1 + data_warehouse on one machine",
+    ),
+    (
+        "sweep_dsf",
+        "sweep demote_scale_factor on Cache1 1:4 under TPP",
+    ),
+    ("sweep_latency", "sweep CXL device latency on Cache1 1:4"),
+    ("sweep_ratio", "sweep the local:CXL capacity ratio"),
+    (
+        "topology",
+        "multi-socket/multi-CXL presets (2s2c, pooled, 3tier), Cache1/Web",
+    ),
+];
 
 struct Args {
     quick: bool,
@@ -63,6 +108,13 @@ fn parse_args() -> Args {
             }
         };
         match a.as_str() {
+            "--list" => {
+                let width = TARGETS.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+                for (name, desc) in TARGETS {
+                    println!("{name:width$}  {desc}");
+                }
+                std::process::exit(0);
+            }
             "--quick" => args.quick = true,
             "--jobs" => {
                 let v = value_of("--jobs");
@@ -83,8 +135,8 @@ fn parse_args() -> Args {
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 eprintln!(
-                    "flags: --quick --jobs <n> --csv <dir> --trace <path> --metrics-dir <dir> \
-                     --timings-json <path>"
+                    "flags: --list --quick --jobs <n> --csv <dir> --trace <path> \
+                     --metrics-dir <dir> --timings-json <path>"
                 );
                 std::process::exit(2);
             }
@@ -112,26 +164,7 @@ fn main() {
     let targets: Vec<&str> = if capture_only {
         Vec::new()
     } else if args.targets.is_empty() || args.targets.iter().any(|t| t == "all") {
-        vec![
-            "fig2",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig15",
-            "fig16",
-            "fig17",
-            "fig18",
-            "table1",
-            "fig19",
-            "reclaim_rate",
-            "zswap",
-            "colocation",
-            "sweep_dsf",
-            "sweep_latency",
-            "sweep_ratio",
-        ]
+        TARGETS.iter().map(|(name, _)| *name).collect()
     } else {
         args.targets.iter().map(|s| s.as_str()).collect()
     };
@@ -210,12 +243,13 @@ fn main() {
             "sweep_ratio" => {
                 sweeps::sweep_ratio(&scale);
             }
+            "topology" => {
+                sweeps::sweep_topology(&scale);
+            }
             other => {
                 eprintln!("unknown target: {other}");
-                eprintln!(
-                    "known: fig2 fig7 fig8 fig9 fig10 fig11 fig15 fig16 fig17 fig18 table1 \
-                     fig19 reclaim_rate zswap colocation sweep_dsf sweep_latency sweep_ratio all"
-                );
+                let known: Vec<&str> = TARGETS.iter().map(|(name, _)| *name).collect();
+                eprintln!("known: {} all (see --list)", known.join(" "));
                 std::process::exit(2);
             }
         }

@@ -4,7 +4,7 @@
 //! benches cannot use Criterion; this module provides the minimal subset
 //! the repo needs: auto-calibrated iteration counts, a warm-up pass,
 //! multiple samples, and a `name  median ns/iter (min .. max)` report
-//! line. All benches run with `harness = false` and call [`bench`] (or
+//! line. All benches run with `harness = false` and call [`bench()`] (or
 //! [`bench_with_setup`] for `iter_batched`-style cases) from `main`.
 
 use std::time::{Duration, Instant};

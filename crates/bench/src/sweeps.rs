@@ -211,6 +211,90 @@ pub fn sweep_ratio(scale: &Scale) -> Vec<Vec<String>> {
     rows
 }
 
+/// Topology grid: Cache1 and Web across the multi-socket/multi-CXL
+/// presets (`2s2c`, `pooled`, `3tier`), default Linux vs. TPP.
+///
+/// The "nearest demote" column is the share of demotions that landed on
+/// the demoting socket's *nearest* lower-tier node (its distance-derived
+/// first choice) — the distance-aware placement the topology engine is
+/// for. `-` means the policy never demoted.
+pub fn sweep_topology(scale: &Scale) -> Vec<Vec<String>> {
+    use tiered_mem::NodeId;
+    let profiles = [
+        tiered_workloads::cache1(scale.ws_pages),
+        tiered_workloads::web(scale.ws_pages),
+    ];
+    let presets = configs::topology_preset_names();
+    // Specs 0..profiles.len() are the per-workload all-local baselines;
+    // the grid cells follow in (preset, workload, policy) order.
+    let mut specs: Vec<CellSpec> = profiles.iter().map(|p| baseline_spec(p, scale)).collect();
+    let mut cells = Vec::new();
+    for &preset in presets {
+        for (pi, profile) in profiles.iter().enumerate() {
+            let ws = profile.working_set_pages();
+            for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
+                specs.push(CellSpec::new(
+                    profile.clone(),
+                    move || configs::topology_preset(preset, ws),
+                    choice,
+                    scale.duration_ns,
+                    scale.seed,
+                ));
+                cells.push((preset, pi));
+            }
+        }
+    }
+    let results = run_all(&specs, scale);
+    let mut rows = Vec::new();
+    for ((preset, pi), r) in cells.iter().zip(&results[profiles.len()..]) {
+        let base = &results[*pi];
+        // Re-derive each socket's nearest target from the preset machine
+        // (results carry only the migration matrix).
+        let machine = configs::topology_preset(preset, profiles[*pi].working_set_pages());
+        let (mut near, mut out) = (0u64, 0u64);
+        for &socket in machine.local_nodes().iter() {
+            let nearest = machine
+                .node(socket)
+                .demotion_target()
+                .expect("presets give every socket a lower tier");
+            for to in 0..r.node_count {
+                if to != socket.index() {
+                    out += r.migrations_between(socket, NodeId(to as u8));
+                }
+            }
+            near += r.migrations_between(socket, nearest);
+        }
+        let near_share = if out == 0 {
+            "-".to_string()
+        } else {
+            pct(near as f64 / out as f64)
+        };
+        rows.push(vec![
+            preset.to_string(),
+            r.workload.clone(),
+            r.policy.clone(),
+            pct(r.local_traffic),
+            format!("{}", r.demoted()),
+            near_share,
+            pct(r.relative_throughput(base)),
+        ]);
+    }
+    print_table(
+        "Sweep — topology presets (Cache1/Web, Linux vs TPP)",
+        &[
+            "preset",
+            "workload",
+            "policy",
+            "local traffic",
+            "demoted",
+            "nearest demote",
+            "throughput vs all-local",
+        ],
+        &rows,
+    );
+    rows
+}
+
 /// TPP vs. in-memory swapping (zswap/zram-style): the §7 argument.
 ///
 /// Both configurations expose the same DRAM and CXL capacity, used two

@@ -1,8 +1,9 @@
 //! Machine configurations matching the paper's evaluation setups (§6.1):
 //! an all-local baseline, the 2:1 production target, and the 1:4 memory
-//! expansion configuration.
+//! expansion configuration — plus multi-socket/multi-CXL topology presets
+//! built on [`tiered_mem::Topology`].
 
-use tiered_mem::{Memory, NodeKind};
+use tiered_mem::{Memory, NodeKind, Topology};
 
 /// Headroom factor: the paper's workloads consume 95–98% of system
 /// capacity, so machines are sized ~5% above the working set.
@@ -41,6 +42,96 @@ pub fn two_to_one(ws_pages: u64) -> Memory {
 /// node holds only ~20% of the working set (§6.2.2).
 pub fn one_to_four(ws_pages: u64) -> Memory {
     ratio(ws_pages, 1, 4)
+}
+
+/// `2s2c`: two CPU sockets, each with a direct-attached CXL expander.
+///
+/// Node layout: 0 = DRAM socket A, 1 = DRAM socket B, 2 = expander on A,
+/// 3 = expander on B. Distances follow a real two-socket board: the own
+/// expander (14) is closer than the peer socket (21), the peer's expander
+/// (24) is further still. Each socket's demotions must therefore land on
+/// *its own* expander, not a shared node 1.
+pub fn two_socket_two_cxl(ws_pages: u64) -> Memory {
+    let total = ws_pages * CAPACITY_SLACK_PCT / 100;
+    let dram = (total / 3).max(64);
+    let cxl = (total / 6).max(64);
+    let mut t = Topology::new();
+    let a = t.node(NodeKind::LocalDram, dram);
+    let b = t.node(NodeKind::LocalDram, dram);
+    let xa = t.node(NodeKind::Cxl, cxl);
+    let xb = t.node(NodeKind::Cxl, cxl);
+    t.set_distance(a, b, 21);
+    t.set_distance(a, xa, 14);
+    t.set_distance(b, xb, 14);
+    t.set_distance(a, xb, 24);
+    t.set_distance(b, xa, 24);
+    t.set_distance(xa, xb, 28);
+    Memory::builder()
+        .topology(t)
+        .swap_pages(ws_pages * 4)
+        .build()
+}
+
+/// `pooled`: one socket backed by a switch-attached CXL memory pool.
+///
+/// The pool is a [`NodeKind::CxlSwitched`] node: higher access latency,
+/// two link hops per migration, and a larger NUMA distance (30) than a
+/// direct expander would have.
+pub fn pooled(ws_pages: u64) -> Memory {
+    let total = ws_pages * CAPACITY_SLACK_PCT / 100;
+    let dram = (total / 3).max(64);
+    let pool = (total - total / 3).max(64);
+    let mut t = Topology::new();
+    let d = t.node(NodeKind::LocalDram, dram);
+    let p = t.node(NodeKind::CxlSwitched, pool);
+    t.set_distance(d, p, 30);
+    Memory::builder()
+        .topology(t)
+        .swap_pages(ws_pages * 4)
+        .build()
+}
+
+/// `3tier`: DRAM → direct CXL expander → switch-attached pool.
+///
+/// Demotions cascade: the DRAM node's nearest lower tier is the direct
+/// expander (distance 14), which in turn demotes into the pool (20); the
+/// pool is terminal and falls back to default reclaim.
+pub fn three_tier(ws_pages: u64) -> Memory {
+    let total = ws_pages * CAPACITY_SLACK_PCT / 100;
+    let dram = (total * 2 / 5).max(64);
+    let near = (total * 2 / 5).max(64);
+    let far = (total - total * 2 / 5 * 2).max(64);
+    let mut t = Topology::new();
+    let d = t.node(NodeKind::LocalDram, dram);
+    let n = t.node(NodeKind::Cxl, near);
+    let f = t.node(NodeKind::CxlSwitched, far);
+    t.set_distance(d, n, 14);
+    t.set_distance(d, f, 30);
+    t.set_distance(n, f, 20);
+    Memory::builder()
+        .topology(t)
+        .swap_pages(ws_pages * 4)
+        .build()
+}
+
+/// The topology preset names accepted by [`topology_preset`], in the
+/// order the `repro topology` experiments run them.
+pub fn topology_preset_names() -> &'static [&'static str] {
+    &["2s2c", "pooled", "3tier"]
+}
+
+/// Builds a machine from a topology preset name.
+///
+/// # Panics
+///
+/// Panics on a name not in [`topology_preset_names`].
+pub fn topology_preset(name: &str, ws_pages: u64) -> Memory {
+    match name {
+        "2s2c" => two_socket_two_cxl(ws_pages),
+        "pooled" => pooled(ws_pages),
+        "3tier" => three_tier(ws_pages),
+        other => panic!("unknown topology preset {other:?} (try 2s2c, pooled, 3tier)"),
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +173,62 @@ mod tests {
     fn tiny_working_sets_get_floor_capacity() {
         let m = ratio(100, 1, 4);
         assert!(m.capacity(NodeId(0)) >= 64);
+    }
+
+    #[test]
+    fn two_socket_preset_demotes_to_own_expander() {
+        let m = two_socket_two_cxl(40_000);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.local_nodes().as_slice(), &[NodeId(0), NodeId(1)]);
+        // Socket A prefers its own expander, then the peer's.
+        assert_eq!(
+            m.node(NodeId(0)).demotion_order().as_slice(),
+            &[NodeId(2), NodeId(3)]
+        );
+        assert_eq!(
+            m.node(NodeId(1)).demotion_order().as_slice(),
+            &[NodeId(3), NodeId(2)]
+        );
+        // Allocation fallback from socket B: itself, peer socket, own
+        // expander order by distance (B=10, A=21, xB=14, xA=24).
+        assert_eq!(
+            m.fallback_order(NodeId(1)).as_slice(),
+            &[NodeId(1), NodeId(3), NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn pooled_preset_is_switch_attached() {
+        let m = pooled(10_000);
+        assert_eq!(m.node_count(), 2);
+        assert!(m.node(NodeId(1)).is_cpu_less());
+        assert_eq!(m.migrate_hops(NodeId(0), NodeId(1)), 2);
+        assert!(m.node(NodeId(1)).latency_ns() > 200);
+    }
+
+    #[test]
+    fn three_tier_preset_cascades_demotions() {
+        let m = three_tier(20_000);
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(
+            m.node(NodeId(0)).demotion_order().as_slice(),
+            &[NodeId(1), NodeId(2)]
+        );
+        assert_eq!(m.node(NodeId(1)).demotion_order().as_slice(), &[NodeId(2)]);
+        assert!(m.node(NodeId(2)).demotion_order().is_empty());
+    }
+
+    #[test]
+    fn preset_dispatch_matches_names() {
+        for &name in topology_preset_names() {
+            let m = topology_preset(name, 5_000);
+            assert!(m.total_capacity() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown topology preset")]
+    fn unknown_preset_panics() {
+        topology_preset("4s4c", 1_000);
     }
 }

@@ -185,6 +185,12 @@ pub struct ExperimentResult {
     pub metrics: RunMetrics,
     /// Simulated run duration, ns.
     pub duration_ns: u64,
+    /// Number of memory nodes in the machine.
+    pub node_count: usize,
+    /// Successful page migrations by direction, row-major
+    /// `[from * node_count + to]` (the src→dst matrix telemetry keeps
+    /// per machine).
+    pub migration_matrix: Vec<u64>,
 }
 
 impl ExperimentResult {
@@ -210,6 +216,11 @@ impl ExperimentResult {
     /// Pages written to swap during the run.
     pub fn swap_outs(&self) -> u64 {
         self.vmstat.get(VmEvent::PswpOut)
+    }
+
+    /// Successful migrations from `from` to `to` during the run.
+    pub fn migrations_between(&self, from: NodeId, to: NodeId) -> u64 {
+        self.migration_matrix[from.index() * self.node_count + to.index()]
     }
 }
 
@@ -259,6 +270,8 @@ pub fn reduce(system: System, policy: &str, workload: &str, duration_ns: u64) ->
         file_resident_local: tiered_sim::fraction(file_local, file_total),
         avg_latency_ns: metrics.avg_access_latency_ns(),
         vmstat: memory.vmstat().clone(),
+        node_count: memory.node_count(),
+        migration_matrix: memory.migration_matrix().to_vec(),
         metrics,
         duration_ns,
     }
@@ -281,6 +294,18 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.local_traffic));
         assert!((0.0..=1.0).contains(&r.anon_resident_local));
         assert!(r.avg_latency_ns >= 100.0);
+        // The src→dst migration matrix is carried over from the machine
+        // and agrees with the scalar counter.
+        assert_eq!(r.node_count, 2);
+        assert_eq!(r.migration_matrix.len(), 4);
+        assert_eq!(
+            r.migration_matrix.iter().sum::<u64>(),
+            r.vmstat.get(tiered_mem::VmEvent::PgMigrateSuccess)
+        );
+        assert_eq!(
+            r.migrations_between(NodeId(0), NodeId(1)),
+            r.migration_matrix[1]
+        );
     }
 
     #[test]

@@ -110,9 +110,23 @@ impl AutoTiering {
         if !wm.needs_reclaim(ctx.memory.free_pages(node)) {
             return;
         }
-        let Some(target) = ctx.memory.node(node).demotion_target() else {
+        // Nearest lower tier with allocation headroom; the nearest one
+        // takes the pages anyway when all candidates are pressured.
+        let order = *ctx.memory.node(node).demotion_order();
+        let target = order
+            .iter()
+            .copied()
+            .find(|&t| {
+                let twm = ctx.memory.node(t).watermarks().base;
+                twm.allows_allocation(ctx.memory.free_pages(t))
+            })
+            .or_else(|| order.first().copied());
+        let Some(target) = target else {
             return;
         };
+        let demote_cost = ctx
+            .latency
+            .migrate_cost_ns(ctx.memory.migrate_hops(node, target));
         let mut time_left = self.config.demote_budget.time_ns;
         let mut scratch = ReclaimScratch::from_pool(ctx.memory);
         while !wm.reclaim_satisfied(ctx.memory.free_pages(node)) && time_left > 0 {
@@ -146,7 +160,7 @@ impl AutoTiering {
                             to: target,
                             page_type,
                         });
-                        ctx.latency.migrate_page_ns
+                        demote_cost
                     }
                     Err(_) => match evict_page(ctx.memory, ctx.latency, pfn) {
                         Some(c) => c,
@@ -207,7 +221,7 @@ impl PlacementPolicy for AutoTiering {
         page_type: PageType,
     ) -> FaultOutcome {
         self.ensure_buffer(ctx.memory);
-        let prefer = preferred_local_node(ctx.memory);
+        let prefer = ctx.memory.home_node(pid);
         fault_with_fallback(ctx, pid, vpn, page_type, prefer, "autotiering")
     }
 
@@ -235,7 +249,7 @@ impl PlacementPolicy for AutoTiering {
             page,
             demoted: false,
         });
-        let target = preferred_local_node(ctx.memory);
+        let target = ctx.memory.home_node(page.pid);
         let wm = ctx.memory.node(target).watermarks().base;
         let free = ctx.memory.free_pages(target);
         // The reserved buffer is the only headroom: promotions need a
@@ -274,7 +288,8 @@ impl PlacementPolicy for AutoTiering {
                     to: target,
                     page_type,
                 });
-                ctx.latency.migrate_page_ns
+                ctx.latency
+                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target))
             }
             Err(_) => {
                 ctx.memory.record(TraceEvent::PromoteFail {

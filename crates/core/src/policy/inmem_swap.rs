@@ -17,7 +17,7 @@ use tiered_sim::MS;
 
 use super::linux_default::{materialise_cost_ns, try_place};
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
-use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+use super::{FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`InMemorySwap`].
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +79,7 @@ impl PlacementPolicy for InMemorySwap {
         vpn: Vpn,
         page_type: PageType,
     ) -> FaultOutcome {
-        let prefer = preferred_local_node(ctx.memory);
+        let prefer = ctx.memory.home_node(pid);
         let was_swapped = matches!(
             ctx.memory.space(pid).translate(vpn),
             Some(PageLocation::Swapped(_))

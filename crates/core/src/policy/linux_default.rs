@@ -10,7 +10,7 @@ use tiered_mem::{
 use tiered_sim::{LatencyModel, MS};
 
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
-use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+use super::{FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`LinuxDefault`].
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +67,7 @@ impl PlacementPolicy for LinuxDefault {
         vpn: Vpn,
         page_type: PageType,
     ) -> FaultOutcome {
-        let prefer = preferred_local_node(ctx.memory);
+        let prefer = ctx.memory.home_node(pid);
         fault_with_fallback(ctx, pid, vpn, page_type, prefer, "linux")
     }
 

@@ -12,7 +12,7 @@ use tiered_sim::Periodic;
 
 use super::linux_default::{fault_with_fallback, kswapd_pass, LinuxDefaultConfig};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
-use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+use super::{FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`NumaBalancing`].
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +79,7 @@ impl PlacementPolicy for NumaBalancing {
         vpn: Vpn,
         page_type: PageType,
     ) -> FaultOutcome {
-        let prefer = preferred_local_node(ctx.memory);
+        let prefer = ctx.memory.home_node(pid);
         fault_with_fallback(ctx, pid, vpn, page_type, prefer, "numa_balancing")
     }
 
@@ -92,7 +92,8 @@ impl PlacementPolicy for NumaBalancing {
             ctx.memory.record(TraceEvent::HintFaultLocal { page, node });
             return 0;
         }
-        let target = preferred_local_node(ctx.memory);
+        // Promote toward the accessing task's socket, not a fixed node 0.
+        let target = ctx.memory.home_node(page.pid);
         ctx.memory.record(TraceEvent::PromoteCandidate {
             page,
             demoted: false,
@@ -127,7 +128,8 @@ impl PlacementPolicy for NumaBalancing {
                     to: target,
                     page_type,
                 });
-                ctx.latency.migrate_page_ns
+                ctx.latency
+                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target))
             }
             Err(_) => {
                 ctx.memory.record(TraceEvent::PromoteFail {

@@ -33,7 +33,7 @@ use tiered_sim::{Periodic, MS};
 use super::linux_default::{evict_page, fault_with_fallback, kswapd_pass, materialise_cost_ns};
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
-use super::{preferred_local_node, FaultOutcome, PlacementPolicy, PolicyCtx};
+use super::{FaultOutcome, PlacementPolicy, PolicyCtx};
 
 /// Configuration for [`Tpp`].
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +87,10 @@ pub struct Tpp {
     promote_tokens: u64,
     token_refill: Periodic,
     kswapd_active: Vec<bool>,
+    /// Per-socket demotion-daemon budgets, indexed by node. A multi-socket
+    /// machine runs one demoter per CPU socket; each may carry its own
+    /// budget. Nodes without an override use `config.demote_budget`.
+    node_demote_budgets: Vec<Option<DaemonBudget>>,
 }
 
 impl Tpp {
@@ -107,12 +111,31 @@ impl Tpp {
             promote_tokens: config.promote_rate_limit.unwrap_or(0),
             token_refill: Periodic::new(tiered_sim::SEC),
             kswapd_active: Vec::new(),
+            node_demote_budgets: Vec::new(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &TppConfig {
         &self.config
+    }
+
+    /// Gives the demotion daemon of `node` (one daemon per CPU socket) its
+    /// own budget, overriding [`TppConfig::demote_budget`] for that node.
+    pub fn set_node_demote_budget(&mut self, node: NodeId, budget: DaemonBudget) {
+        if self.node_demote_budgets.len() <= node.index() {
+            self.node_demote_budgets.resize(node.index() + 1, None);
+        }
+        self.node_demote_budgets[node.index()] = Some(budget);
+    }
+
+    /// The demotion budget in effect for `node`.
+    fn demote_budget_for(&self, node: NodeId) -> DaemonBudget {
+        self.node_demote_budgets
+            .get(node.index())
+            .copied()
+            .flatten()
+            .unwrap_or(self.config.demote_budget)
     }
 
     /// The demotion daemon: one pass over `node`.
@@ -147,7 +170,19 @@ impl Tpp {
                 node: Some(node),
             });
         }
-        let Some(target) = ctx.memory.node(node).demotion_target() else {
+        // Nearest lower tier with allocation headroom (§5.2); when every
+        // candidate is pressured, the nearest one still takes the pages
+        // (its own daemon will cascade or reclaim them).
+        let order = *ctx.memory.node(node).demotion_order();
+        let target = order
+            .iter()
+            .copied()
+            .find(|&t| {
+                let wm = ctx.memory.node(t).watermarks().base;
+                wm.allows_allocation(ctx.memory.free_pages(t))
+            })
+            .or_else(|| order.first().copied());
+        let Some(target) = target else {
             // Terminal tier: fall back to default reclaim.
             ctx.memory.record(TraceEvent::Decision {
                 policy: "tpp",
@@ -166,7 +201,11 @@ impl Tpp {
             self.kswapd_active[node.index()] = active;
             return;
         };
-        let mut time_left = self.config.demote_budget.time_ns;
+        let budget = self.demote_budget_for(node);
+        let mut time_left = budget.time_ns;
+        let demote_cost = ctx
+            .latency
+            .migrate_cost_ns(ctx.memory.migrate_hops(node, target));
         let mut scratch = ReclaimScratch::from_pool(ctx.memory);
         while ctx.memory.free_pages(node) < target_free && time_left > 0 {
             let want = (target_free - ctx.memory.free_pages(node)).min(64) as usize;
@@ -176,7 +215,7 @@ impl Tpp {
                 ctx.memory,
                 node,
                 want,
-                self.config.demote_budget.scan_pages as usize,
+                budget.scan_pages as usize,
                 VictimClass::AnonAndFile,
                 &mut scratch,
             );
@@ -202,7 +241,7 @@ impl Tpp {
                             to: target,
                             page_type,
                         });
-                        ctx.latency.migrate_page_ns
+                        demote_cost
                     }
                     Err(_) => {
                         // Migration failed (e.g. CXL node full): fall back
@@ -247,7 +286,7 @@ impl PlacementPolicy for Tpp {
         vpn: Vpn,
         page_type: PageType,
     ) -> FaultOutcome {
-        let local = preferred_local_node(ctx.memory);
+        let local = ctx.memory.home_node(pid);
         // Page-type-aware allocation (§5.4): caches go to CXL first.
         if self.config.cache_to_cxl && page_type.is_file_backed() {
             if let Some(&cxl) = ctx.memory.cxl_nodes().first() {
@@ -327,7 +366,9 @@ impl PlacementPolicy for Tpp {
             }
             self.promote_tokens -= 1;
         }
-        let target = preferred_local_node(ctx.memory);
+        // Promote to the accessing socket's DRAM (§5.3): the faulting
+        // task's home node, not a hard-coded node 0.
+        let target = ctx.memory.home_node(page.pid);
         // Promotion ignores the allocation watermark (§5.3) — only the
         // hard min floor gates it. Decoupled demotion keeps free pages
         // above that essentially always.
@@ -359,7 +400,8 @@ impl PlacementPolicy for Tpp {
                     to: target,
                     page_type,
                 });
-                ctx.latency.migrate_page_ns
+                ctx.latency
+                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target))
             }
             Err(tiered_mem::MigrateError::DstNoMemory { .. }) => {
                 ctx.memory.record(TraceEvent::PromoteFail {
@@ -651,6 +693,75 @@ mod tests {
             rng: &mut rng,
         };
         assert!(p.on_hint_fault(&mut ctx, pfn) > 0);
+        m.validate();
+    }
+
+    #[test]
+    fn demotion_skips_full_target_for_one_with_headroom() {
+        // Local DRAM, a nearly-full direct CXL expander, and a roomy
+        // switch-attached pool: demotions should skip the pressured CXL
+        // node and land on the pool.
+        // No swap: the full expander stays full (its kswapd cannot evict),
+        // so the skip decision is exercised on every pass.
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 256)
+            .node(NodeKind::Cxl, 64)
+            .node(NodeKind::CxlSwitched, 1024)
+            .swap_pages(0)
+            .build();
+        m.create_process(Pid(1));
+        let (lat, mut rng) = (LatencyModel::datacenter(), SimRng::seed(1));
+        let mut p = Tpp::new();
+        // Exhaust the direct expander's allocation headroom.
+        let min = m.node(NodeId(1)).watermarks().base.min;
+        for i in 0..(64 - min) {
+            m.alloc_and_map(NodeId(1), Pid(1), Vpn(10_000 + i), PageType::Anon)
+                .unwrap();
+        }
+        for i in 0..250 {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
+        }
+        for t in 0..10 {
+            tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
+        }
+        assert!(m.vmstat().demoted_total() > 0);
+        assert!(
+            m.migrations_between(NodeId(0), NodeId(2)) > 0,
+            "demotion should fall through to the pool with headroom"
+        );
+        assert_eq!(m.migrations_between(NodeId(0), NodeId(1)), 0);
+        m.validate();
+    }
+
+    #[test]
+    fn per_node_demote_budget_overrides_the_default() {
+        let (mut m, lat, mut rng) = setup(256, 1024);
+        let mut p = Tpp::new();
+        // A starvation budget on node 0's demoter: at most one page fits
+        // per wakeup before the time budget runs dry.
+        p.set_node_demote_budget(
+            NodeId(0),
+            DaemonBudget {
+                scan_pages: 64,
+                time_ns: 1,
+            },
+        );
+        for i in 0..250 {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::File)
+                .unwrap();
+        }
+        for t in 0..10 {
+            tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
+        }
+        assert!(
+            m.vmstat().demoted_total() <= 10,
+            "a starved per-node budget must throttle that node's demoter"
+        );
+        assert!(
+            m.free_pages(NodeId(0)) < m.node(NodeId(0)).watermarks().demote_target,
+            "the default budget would have reached the demotion target"
+        );
         m.validate();
     }
 

@@ -87,8 +87,10 @@ impl System {
     fn refresh_node_cache(&mut self) {
         self.node_latency_ns.clear();
         self.node_is_local.clear();
-        for i in 0..self.memory.node_count() {
-            let node = self.memory.node(tiered_mem::NodeId(i as u8));
+        // Topology ids are dense and in index order (the builder asserts
+        // it), so these arrays index directly by `NodeId`.
+        for id in self.memory.topology().ids() {
+            let node = self.memory.node(id);
             self.node_latency_ns.push(node.latency_ns());
             self.node_is_local.push(!node.is_cpu_less());
         }

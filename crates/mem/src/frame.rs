@@ -174,10 +174,14 @@ pub struct FrameTable {
 impl FrameTable {
     /// Creates a frame table for nodes with the given capacities (pages).
     ///
+    /// A zero-capacity node is allowed (e.g. a hot-removed or not-yet-
+    /// onlined expander in a larger topology): every allocation on it
+    /// fails with `NoMemory`, so fallback chains simply skip past it.
+    ///
     /// # Panics
     ///
-    /// Panics if `capacities` is empty, any capacity is zero, or the total
-    /// exceeds `u32::MAX` frames.
+    /// Panics if `capacities` is empty or the total exceeds `u32::MAX`
+    /// frames.
     pub fn new(capacities: &[u64]) -> FrameTable {
         assert!(!capacities.is_empty(), "at least one memory node required");
         let total: u64 = capacities.iter().sum();
@@ -187,7 +191,6 @@ impl FrameTable {
         let mut free_lists = Vec::with_capacity(capacities.len());
         let mut next: u32 = 0;
         for (i, &cap) in capacities.iter().enumerate() {
-            assert!(cap > 0, "node {i} has zero capacity");
             let node = NodeId(i as u8);
             node_start.push(next);
             // Free list is popped from the back; push in reverse so low

@@ -9,8 +9,12 @@
 //!
 //! * a machine-wide **frame table** with per-node free lists
 //!   ([`FrameTable`]),
-//! * **NUMA nodes** of different technology tiers — CPU-attached DRAM and
-//!   CPU-less CXL expanders ([`MemoryNode`], [`NodeKind`]),
+//! * **NUMA nodes** of different technology tiers — CPU-attached DRAM,
+//!   CPU-less CXL expanders, and switch-attached CXL pools
+//!   ([`MemoryNode`], [`NodeKind`]),
+//! * a machine **topology** with a NUMA distance matrix and per-link
+//!   properties, from which allocation fallback and demotion orders are
+//!   derived ([`Topology`]),
 //! * free-page **watermarks**, including TPP's decoupled
 //!   allocation/demotion watermarks ([`Watermarks`], [`TppWatermarks`]),
 //! * per-node **LRU lists** (`active`/`inactive` × `anon`/`file`) with
@@ -58,6 +62,7 @@ mod node;
 mod page_table;
 mod swap;
 pub mod telemetry;
+mod topology;
 mod types;
 mod vmstat;
 mod watermark;
@@ -74,6 +79,7 @@ pub use telemetry::{
     EventSink, NullSink, PromoteFailReason, PromoteSkipReason, RingSink, TeeSink, TraceEvent,
     TraceRecord, WriterSink,
 };
+pub use topology::{Link, Topology, LOCAL_DISTANCE};
 pub use types::{
     mib_from_pages, pages_from_mib, NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB,
     PAGE_SIZE,

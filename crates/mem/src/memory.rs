@@ -18,6 +18,7 @@ use crate::node::{MemoryNode, NodeKind};
 use crate::page_table::{AddressSpace, PageLocation};
 use crate::swap::{SwapDevice, SwapSlot};
 use crate::telemetry::{EventSink, NullSink, TraceEvent, TraceRecord};
+use crate::topology::Topology;
 use crate::types::{NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn};
 use crate::vmstat::{VmEvent, VmStat};
 use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
@@ -50,7 +51,7 @@ struct Shadow {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MemoryBuilder {
-    nodes: Vec<(NodeKind, u64, Option<u64>)>,
+    topology: Topology,
     swap_pages: Option<u64>,
     demote_scale_bp: u32,
 }
@@ -60,7 +61,7 @@ impl MemoryBuilder {
     /// `demote_scale_factor`.
     pub fn new() -> MemoryBuilder {
         MemoryBuilder {
-            nodes: Vec::new(),
+            topology: Topology::new(),
             swap_pages: None,
             demote_scale_bp: DEFAULT_DEMOTE_SCALE_BP,
         }
@@ -68,7 +69,7 @@ impl MemoryBuilder {
 
     /// Adds a memory node of `kind` with `capacity` pages.
     pub fn node(&mut self, kind: NodeKind, capacity: u64) -> &mut MemoryBuilder {
-        self.nodes.push((kind, capacity, None));
+        self.topology.node(kind, capacity);
         self
     }
 
@@ -79,7 +80,16 @@ impl MemoryBuilder {
         capacity: u64,
         latency_ns: u64,
     ) -> &mut MemoryBuilder {
-        self.nodes.push((kind, capacity, Some(latency_ns)));
+        self.topology.node_with_latency(kind, capacity, latency_ns);
+        self
+    }
+
+    /// Replaces the machine description wholesale with an explicit
+    /// [`Topology`] (custom distance matrix, link properties, switch
+    /// hops). Any nodes added through [`MemoryBuilder::node`] so far are
+    /// discarded.
+    pub fn topology(&mut self, topology: Topology) -> &mut MemoryBuilder {
+        self.topology = topology;
         self
     }
 
@@ -97,52 +107,52 @@ impl MemoryBuilder {
 
     /// Builds the memory subsystem.
     ///
-    /// Demotion targets are assigned statically by node distance (paper
-    /// §5.1): every CPU-attached node demotes to the nearest CXL node;
-    /// CXL nodes are terminal (they reclaim to swap).
+    /// Placement orders are derived from the topology's distance matrix
+    /// (paper §5.1/§5.2): the allocation fallback order walks nodes
+    /// nearest-first, and every node's demotion order lists lower-tier
+    /// nodes nearest-first (terminal tiers get an empty order and reclaim
+    /// to swap).
     ///
     /// # Panics
     ///
     /// Panics if no node was configured.
     pub fn build(&self) -> Memory {
-        assert!(!self.nodes.is_empty(), "at least one memory node required");
-        let capacities: Vec<u64> = self.nodes.iter().map(|&(_, c, _)| c).collect();
+        let topo = &self.topology;
+        assert!(!topo.is_empty(), "at least one memory node required");
+        // The NodeId-indexed fast-path arrays (here and in the `tpp`
+        // crate's `System`) assume ids are unique and densely numbered —
+        // which `Topology` guarantees by construction.
+        debug_assert!(
+            topo.ids().enumerate().all(|(i, id)| id.index() == i),
+            "node ids must be unique and densely numbered"
+        );
+        let capacities: Vec<u64> = topo.ids().map(|id| topo.capacity(id)).collect();
         let frames = FrameTable::new(&capacities);
-        let mut nodes: Vec<MemoryNode> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &(kind, cap, lat))| {
-                let mut n = MemoryNode::new(NodeId(i as u8), kind, cap);
+        let nodes: Vec<MemoryNode> = topo
+            .ids()
+            .map(|id| {
+                let cap = topo.capacity(id);
+                let mut n = MemoryNode::new(id, topo.kind(id), cap);
                 n.set_watermarks(TppWatermarks::for_capacity(cap, self.demote_scale_bp));
-                if let Some(lat) = lat {
-                    n.set_latency_ns(lat);
-                }
+                n.set_latency_ns(topo.resolved_latency_ns(id));
+                n.set_demotion_order(topo.demotion_order(id));
                 n
             })
             .collect();
-        // Distance-based static demotion targets: nearest CXL node by id
-        // distance.
-        for i in 0..nodes.len() {
-            if nodes[i].kind().is_cpu_less() {
-                continue;
-            }
-            let target = nodes
-                .iter()
-                .filter(|n| n.kind().is_cpu_less())
-                .min_by_key(|n| (n.id().0 as i16 - i as i16).unsigned_abs())
-                .map(|n| n.id());
-            nodes[i].set_demotion_target(target);
-        }
         let total: u64 = capacities.iter().sum();
         let swap = SwapDevice::new(self.swap_pages.unwrap_or(total * 4));
         let node_count = nodes.len();
+        let fallback: Vec<NodeList> = topo.ids().map(|id| topo.fallback_order(id)).collect();
         Memory {
             frames,
             nodes,
+            topology: topo.clone(),
+            fallback,
             spaces: HashMap::new(),
+            home_nodes: HashMap::new(),
             swap,
             vmstat: VmStat::new(),
+            migration_matrix: vec![0; node_count * node_count],
             shadows: HashMap::new(),
             eviction_clocks: vec![0; node_count],
             sink: Box::new(NullSink),
@@ -157,9 +167,20 @@ impl MemoryBuilder {
 pub struct Memory {
     frames: FrameTable,
     nodes: Vec<MemoryNode>,
+    /// The machine description the placement orders were derived from.
+    topology: Topology,
+    /// Per-node allocation fallback order, indexed by source node
+    /// (precomputed from the topology; the fault path reads it hot).
+    fallback: Vec<NodeList>,
     spaces: HashMap<Pid, AddressSpace>,
+    /// Home (socket) node per process; faults and promotions prefer it.
+    /// Processes without an entry default to the first CPU-attached node.
+    home_nodes: HashMap<Pid, NodeId>,
     swap: SwapDevice,
     vmstat: VmStat,
+    /// Flattened src→dst page-migration counts (`from * n + to`), bumped
+    /// on every successful migration recorded through [`Memory::record`].
+    migration_matrix: Vec<u64>,
     /// Workingset shadows for dropped file pages.
     shadows: HashMap<PageKey, Shadow>,
     /// Per-node eviction clocks (file pages dropped so far).
@@ -182,9 +203,13 @@ impl Clone for Memory {
         Memory {
             frames: self.frames.clone(),
             nodes: self.nodes.clone(),
+            topology: self.topology.clone(),
+            fallback: self.fallback.clone(),
             spaces: self.spaces.clone(),
+            home_nodes: self.home_nodes.clone(),
             swap: self.swap.clone(),
             vmstat: self.vmstat.clone(),
+            migration_matrix: self.migration_matrix.clone(),
             shadows: self.shadows.clone(),
             eviction_clocks: self.eviction_clocks.clone(),
             sink: Box::new(NullSink),
@@ -200,6 +225,7 @@ impl fmt::Debug for Memory {
         f.debug_struct("Memory")
             .field("frames", &self.frames)
             .field("nodes", &self.nodes)
+            .field("topology", &self.topology)
             .field("spaces", &self.spaces)
             .field("swap", &self.swap)
             .field("vmstat", &self.vmstat)
@@ -268,12 +294,82 @@ impl Memory {
             .collect()
     }
 
+    /// The machine description this memory was built from.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// The allocation fallback order starting from `from`: `from` itself,
-    /// then remaining nodes by id distance (the zonelist analogue).
+    /// then remaining nodes nearest-first by NUMA distance (the zonelist
+    /// analogue), precomputed from the topology.
+    #[inline]
     pub fn fallback_order(&self, from: NodeId) -> NodeList {
-        let mut ids: NodeList = (0..self.nodes.len()).map(|i| NodeId(i as u8)).collect();
-        ids.sort_by_key(|n| ((n.0 as i16 - from.0 as i16).unsigned_abs(), n.0));
-        ids
+        self.fallback[from.index()]
+    }
+
+    /// Link hops a page copy between `a` and `b` traverses (≥ 1; a
+    /// switch-attached pool adds one per switch traversal).
+    #[inline]
+    pub fn migrate_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.topology.migrate_hops(a, b)
+    }
+
+    /// The home (socket) node of `pid`: its explicit binding if one was
+    /// set, else the first CPU-attached node. Faults prefer it and
+    /// promotions pull pages to it (§5.3: "the CPUs that access them").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no binding and the machine has no CPU-attached
+    /// node.
+    pub fn home_node(&self, pid: Pid) -> NodeId {
+        self.home_nodes.get(&pid).copied().unwrap_or_else(|| {
+            self.topology
+                .first_local()
+                .expect("machine has no CPU-attached node")
+        })
+    }
+
+    /// Binds `pid` to a home socket node (multi-socket machines). The
+    /// process does not have to be registered yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or CPU-less.
+    pub fn set_home_node(&mut self, pid: Pid, node: NodeId) {
+        assert!(node.index() < self.nodes.len(), "unknown {node}");
+        assert!(
+            !self.nodes[node.index()].is_cpu_less(),
+            "{node} is CPU-less and cannot be a home node"
+        );
+        self.home_nodes.insert(pid, node);
+    }
+
+    /// Aggregate free pages across a node set (per-socket watermark-style
+    /// queries on multi-node machines).
+    pub fn free_pages_in(&self, nodes: &[NodeId]) -> u64 {
+        nodes.iter().map(|&n| self.free_pages(n)).sum()
+    }
+
+    /// Aggregate capacity across a node set.
+    pub fn capacity_in(&self, nodes: &[NodeId]) -> u64 {
+        nodes.iter().map(|&n| self.capacity(n)).sum()
+    }
+
+    /// Successful page migrations from `from` to `to` so far (the src→dst
+    /// migration matrix; demotions and promotions are distinguished by
+    /// direction across tiers).
+    #[inline]
+    pub fn migrations_between(&self, from: NodeId, to: NodeId) -> u64 {
+        self.migration_matrix[from.index() * self.nodes.len() + to.index()]
+    }
+
+    /// The full src→dst migration matrix, flattened row-major
+    /// (`from * node_count + to`).
+    #[inline]
+    pub fn migration_matrix(&self) -> &[u64] {
+        &self.migration_matrix
     }
 
     /// Borrows an empty, reusable `Pfn` buffer from the scratch pool.
@@ -396,6 +492,13 @@ impl Memory {
     #[inline]
     pub fn record(&mut self, event: TraceEvent) {
         event.count_into(&mut self.vmstat);
+        if let TraceEvent::Migrate { from, to, .. } = event {
+            // Exactly one `Migrate` is recorded per successful
+            // `migrate_page` (demotions/promotions add their own events
+            // on top), so counting it here yields an un-double-counted
+            // src→dst matrix.
+            self.migration_matrix[from.index() * self.nodes.len() + to.index()] += 1;
+        }
         if self.trace_enabled {
             self.sink.emit(&TraceRecord {
                 ts_ns: self.trace_now_ns,
@@ -454,6 +557,7 @@ impl Memory {
             .spaces
             .remove(&pid)
             .unwrap_or_else(|| panic!("unknown {pid}"));
+        self.home_nodes.remove(&pid);
         self.shadows.retain(|key, _| key.pid != pid);
         for (_, loc) in space.iter() {
             match loc {
@@ -906,6 +1010,79 @@ mod tests {
             m.fallback_order(NodeId(2)).as_slice(),
             &[NodeId(2), NodeId(1), NodeId(0)]
         );
+    }
+
+    #[test]
+    fn explicit_topology_drives_orders_and_latencies() {
+        let mut t = Topology::new();
+        t.node(NodeKind::LocalDram, 16); // 0
+        t.node(NodeKind::LocalDram, 16); // 1: other socket
+        t.node(NodeKind::Cxl, 16); // 2: socket 1's expander
+        t.set_distance(NodeId(0), NodeId(1), 21);
+        t.set_distance(NodeId(1), NodeId(2), 14);
+        t.set_distance(NodeId(0), NodeId(2), 24);
+        let m = Memory::builder().topology(t).build();
+        // Socket 1 prefers its own expander over the remote socket.
+        assert_eq!(
+            m.fallback_order(NodeId(1)).as_slice(),
+            &[NodeId(1), NodeId(2), NodeId(0)]
+        );
+        assert_eq!(m.node(NodeId(0)).demotion_target(), Some(NodeId(2)));
+        assert_eq!(m.node(NodeId(2)).latency_ns(), 185);
+        assert_eq!(m.topology().distance(NodeId(0), NodeId(1)), 21);
+    }
+
+    #[test]
+    fn migration_matrix_counts_by_direction() {
+        let mut m = two_node();
+        m.create_process(Pid(1));
+        let pfn = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let down = m.migrate_page(pfn, NodeId(1)).unwrap();
+        let _up = m.migrate_page(down, NodeId(0)).unwrap();
+        let pfn2 = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::Anon)
+            .unwrap();
+        m.migrate_page(pfn2, NodeId(1)).unwrap();
+        assert_eq!(m.migrations_between(NodeId(0), NodeId(1)), 2);
+        assert_eq!(m.migrations_between(NodeId(1), NodeId(0)), 1);
+        assert_eq!(m.migration_matrix().iter().sum::<u64>(), 3);
+        // Clones carry the matrix (it is counter state, like vmstat).
+        let c = m.clone();
+        assert_eq!(c.migrations_between(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn home_nodes_default_to_first_local() {
+        let mut t = Topology::new();
+        t.node(NodeKind::Cxl, 16); // 0: expander first, deliberately
+        t.node(NodeKind::LocalDram, 16); // 1
+        t.node(NodeKind::LocalDram, 16); // 2
+        let mut m = Memory::builder().topology(t).build();
+        assert_eq!(m.home_node(Pid(1)), NodeId(1));
+        m.set_home_node(Pid(1), NodeId(2));
+        assert_eq!(m.home_node(Pid(1)), NodeId(2));
+        assert_eq!(m.home_node(Pid(9)), NodeId(1), "unbound pids default");
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU-less")]
+    fn cpu_less_home_node_rejected() {
+        let mut m = two_node();
+        m.set_home_node(Pid(1), NodeId(1));
+    }
+
+    #[test]
+    fn node_set_aggregates_sum_over_members() {
+        let m = Memory::builder()
+            .node(NodeKind::LocalDram, 16)
+            .node(NodeKind::Cxl, 32)
+            .node(NodeKind::Cxl, 64)
+            .build();
+        assert_eq!(m.capacity_in(&m.cxl_nodes()), 96);
+        assert_eq!(m.capacity_in(&m.local_nodes()), 16);
+        assert_eq!(m.free_pages_in(&m.cxl_nodes()), 96);
     }
 
     #[test]

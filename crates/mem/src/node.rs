@@ -2,7 +2,7 @@
 //! CXL-attached expanders.
 
 use crate::lru::NodeLru;
-use crate::types::NodeId;
+use crate::types::{NodeId, NodeList};
 use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
 
 /// The technology class of a memory node.
@@ -13,23 +13,40 @@ pub enum NodeKind {
     /// CXL-attached memory: appears as a CPU-less NUMA node with
     /// NUMA-like extra latency (paper §2).
     Cxl,
+    /// CXL memory behind a switch (a shared/pooled expander): still a
+    /// CPU-less NUMA node, but every access pays one or more extra
+    /// switch hops on top of direct-attached CXL latency.
+    CxlSwitched,
 }
 
 impl NodeKind {
     /// Whether this node has no CPUs (pages here are always "remote").
     #[inline]
     pub fn is_cpu_less(self) -> bool {
-        matches!(self, NodeKind::Cxl)
+        matches!(self, NodeKind::Cxl | NodeKind::CxlSwitched)
     }
 
     /// Default idle load-to-use latency for this tier in nanoseconds.
     ///
     /// Local DRAM ~100 ns; CXL ~185 ns (the paper's target: NUMA-like,
-    /// 50–100 ns over local DRAM).
+    /// 50–100 ns over local DRAM); switch-attached CXL adds roughly one
+    /// more NUMA hop's worth of latency per switch traversal.
     pub fn default_latency_ns(self) -> u64 {
         match self {
             NodeKind::LocalDram => 100,
             NodeKind::Cxl => 185,
+            NodeKind::CxlSwitched => 270,
+        }
+    }
+
+    /// Memory-tier rank: demotions move pages to a node of strictly
+    /// greater rank (local DRAM → direct CXL → switched CXL pool).
+    #[inline]
+    pub fn tier_rank(self) -> u8 {
+        match self {
+            NodeKind::LocalDram => 0,
+            NodeKind::Cxl => 1,
+            NodeKind::CxlSwitched => 2,
         }
     }
 }
@@ -42,9 +59,10 @@ pub struct MemoryNode {
     kind: NodeKind,
     latency_ns: u64,
     watermarks: TppWatermarks,
-    /// Where demotions from this node go (distance-based static choice,
-    /// paper §5.1). `None` for terminal tiers.
-    demotion_target: Option<NodeId>,
+    /// Candidate demotion targets, nearest first (distance-derived,
+    /// paper §5.1/§5.2). Empty for terminal tiers. Demoters pick the
+    /// first entry with allocation headroom.
+    demotion_order: NodeList,
     /// The LRU lists of this node.
     pub lru: NodeLru,
 }
@@ -58,7 +76,7 @@ impl MemoryNode {
             kind,
             latency_ns: kind.default_latency_ns(),
             watermarks: TppWatermarks::for_capacity(capacity, DEFAULT_DEMOTE_SCALE_BP),
-            demotion_target: None,
+            demotion_order: NodeList::new(),
             lru: NodeLru::new(id),
         }
     }
@@ -104,15 +122,32 @@ impl MemoryNode {
         self.watermarks = wm;
     }
 
-    /// Where demotions from this node should go.
+    /// Where demotions from this node should go by default: the nearest
+    /// lower-tier node (the head of [`MemoryNode::demotion_order`]).
     #[inline]
     pub fn demotion_target(&self) -> Option<NodeId> {
-        self.demotion_target
+        self.demotion_order.first().copied()
     }
 
-    /// Sets the demotion target.
+    /// Sets the demotion target (single-entry demotion order).
     pub fn set_demotion_target(&mut self, target: Option<NodeId>) {
-        self.demotion_target = target;
+        let mut order = NodeList::new();
+        if let Some(t) = target {
+            order.push(t);
+        }
+        self.demotion_order = order;
+    }
+
+    /// Candidate demotion targets, nearest lower tier first. Empty for
+    /// terminal tiers.
+    #[inline]
+    pub fn demotion_order(&self) -> &NodeList {
+        &self.demotion_order
+    }
+
+    /// Replaces the demotion order (nearest first).
+    pub fn set_demotion_order(&mut self, order: NodeList) {
+        self.demotion_order = order;
     }
 }
 
@@ -134,6 +169,27 @@ mod tests {
     }
 
     #[test]
+    fn switched_cxl_is_a_slower_lower_tier() {
+        assert!(NodeKind::CxlSwitched.is_cpu_less());
+        assert!(NodeKind::CxlSwitched.default_latency_ns() > NodeKind::Cxl.default_latency_ns());
+        assert!(NodeKind::CxlSwitched.tier_rank() > NodeKind::Cxl.tier_rank());
+        assert!(NodeKind::Cxl.tier_rank() > NodeKind::LocalDram.tier_rank());
+    }
+
+    #[test]
+    fn demotion_order_backs_the_single_target_api() {
+        let mut node = MemoryNode::new(NodeId(0), NodeKind::LocalDram, 1_000);
+        assert!(node.demotion_order().is_empty());
+        let order: NodeList = [NodeId(1), NodeId(2)].into_iter().collect();
+        node.set_demotion_order(order);
+        assert_eq!(node.demotion_target(), Some(NodeId(1)));
+        node.set_demotion_target(Some(NodeId(2)));
+        assert_eq!(node.demotion_order().as_slice(), &[NodeId(2)]);
+        node.set_demotion_target(None);
+        assert_eq!(node.demotion_target(), None);
+    }
+
+    #[test]
     fn node_construction_and_overrides() {
         let mut node = MemoryNode::new(NodeId(1), NodeKind::Cxl, 10_000);
         assert_eq!(node.id(), NodeId(1));
@@ -148,8 +204,10 @@ mod tests {
 
     #[test]
     fn watermarks_scale_with_capacity() {
+        // Distinct ids: a machine never holds two `NodeId(0)` nodes, and
+        // `Memory::builder` debug-asserts exactly that.
         let small = MemoryNode::new(NodeId(0), NodeKind::LocalDram, 1_000);
-        let large = MemoryNode::new(NodeId(0), NodeKind::LocalDram, 1_000_000);
+        let large = MemoryNode::new(NodeId(1), NodeKind::LocalDram, 1_000_000);
         assert!(large.watermarks().demote_trigger > small.watermarks().demote_trigger);
     }
 }

@@ -78,6 +78,15 @@ impl LatencyModel {
     pub fn migrate_budget_pages(&self, budget_ns: u64) -> u64 {
         budget_ns / (self.migrate_page_ns + self.scan_page_ns)
     }
+
+    /// Cost of migrating one page over a path of `hops` link hops
+    /// (`tiered_mem::Memory::migrate_hops`): the copy is re-driven once
+    /// per hop, so a switch-attached pool pays proportionally more.
+    /// `hops <= 1` is exactly [`LatencyModel::migrate_page_ns`].
+    #[inline]
+    pub fn migrate_cost_ns(&self, hops: u32) -> u64 {
+        self.migrate_page_ns * hops.max(1) as u64
+    }
 }
 
 impl Default for LatencyModel {
@@ -128,5 +137,13 @@ mod tests {
     #[test]
     fn default_is_datacenter() {
         assert_eq!(LatencyModel::default(), LatencyModel::datacenter());
+    }
+
+    #[test]
+    fn migrate_cost_scales_with_hops() {
+        let m = LatencyModel::datacenter();
+        assert_eq!(m.migrate_cost_ns(0), m.migrate_page_ns);
+        assert_eq!(m.migrate_cost_ns(1), m.migrate_page_ns);
+        assert_eq!(m.migrate_cost_ns(2), 2 * m.migrate_page_ns);
     }
 }

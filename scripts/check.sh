@@ -7,6 +7,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q --workspace
+# Rustdoc must build warnings-clean (broken intra-doc links etc.).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --workspace
 # Benches must at least compile (running them is bench.sh's job).
 cargo bench --no-run -q -p tpp-bench
 
@@ -28,6 +30,22 @@ diff "$tmp/j1.out" "$tmp/j2.out" >/dev/null || {
   exit 1
 }
 echo "executor determinism gate: --jobs 2 output byte-identical to --jobs 1"
+
+# Topology determinism gate: the multi-preset grid must also be
+# byte-identical under the parallel executor (its cells span several
+# machine shapes, so it exercises scheduling paths `all --quick` with
+# two nodes does not).
+./target/release/repro topology --quick --jobs 1 --csv "$tmp/t1" >"$tmp/t1.out" 2>/dev/null
+./target/release/repro topology --quick --jobs 2 --csv "$tmp/t2" >"$tmp/t2.out" 2>/dev/null
+diff -r "$tmp/t1" "$tmp/t2" >/dev/null || {
+  echo "topology determinism gate FAILED: --jobs 2 CSV tables differ from --jobs 1" >&2
+  exit 1
+}
+diff "$tmp/t1.out" "$tmp/t2.out" >/dev/null || {
+  echo "topology determinism gate FAILED: --jobs 2 stdout differs from --jobs 1" >&2
+  exit 1
+}
+echo "topology determinism gate: --jobs 2 output byte-identical to --jobs 1"
 
 # If this change regenerated the checked-in bench report, surface the
 # throughput delta for review.

@@ -1,7 +1,7 @@
 //! Failure-injection tests: swap exhaustion, migration-target exhaustion,
 //! and simulated OOM semantics.
 
-use tiered_mem::{Memory, NodeKind, VmEvent};
+use tiered_mem::{Memory, NodeId, NodeKind, PageType, Pid, VmEvent, Vpn};
 use tiered_sim::{LatencyModel, SimRng, SEC};
 use tpp::experiment::PolicyChoice;
 use tpp::policy::{PlacementPolicy, PolicyCtx, Tpp};
@@ -131,16 +131,41 @@ fn numa_balancing_survives_swap_exhaustion() {
 }
 
 #[test]
-fn zero_capacity_cxl_machines_are_rejected_gracefully() {
-    // Machines must have at least one page per node; the builder floors
-    // capacities in configs, and raw builders panic loudly.
-    let result = std::panic::catch_unwind(|| {
-        Memory::builder()
-            .node(NodeKind::LocalDram, 16)
-            .node(NodeKind::Cxl, 0)
-            .build()
-    });
-    assert!(result.is_err(), "zero-capacity node must be rejected");
+fn zero_capacity_cxl_nodes_are_tolerated_and_skipped() {
+    // A zero-capacity node (hot-removed or not-yet-onlined expander)
+    // builds fine; every allocation on it fails with NoMemory, so the
+    // fallback chain flows past it instead of the machine being
+    // unconstructible. (`configs` still floors capacities so presets
+    // never produce one by accident.)
+    let mut m = Memory::builder()
+        .node(NodeKind::LocalDram, 16)
+        .node(NodeKind::Cxl, 0)
+        .build();
+    m.create_process(Pid(1));
+    assert!(matches!(
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon),
+        Err(tiered_mem::AllocError::NoMemory { .. })
+    ));
+    // More faults than local DRAM holds: the only fallback target is the
+    // empty node, so the overflow must report OOM, not panic.
+    let mut placed = 0;
+    for i in 0..32u64 {
+        let node = m.fallback_order(NodeId(0)).iter().copied().find_map(|n| {
+            m.alloc_and_map(n, Pid(1), Vpn(i), PageType::Anon)
+                .ok()
+                .map(|_| n)
+        });
+        match node {
+            Some(n) => {
+                assert_eq!(n, NodeId(0), "allocations must skip the empty node");
+                placed += 1;
+            }
+            None => break,
+        }
+    }
+    assert_eq!(placed, 16);
+    assert_eq!(m.frames().used_pages(NodeId(1)), 0);
+    m.validate();
 }
 
 #[test]
