@@ -70,6 +70,10 @@ const TARGETS: &[(&str, &str)] = &[
         "topology",
         "multi-socket/multi-CXL presets (2s2c, pooled, 3tier), Cache1/Web",
     ),
+    (
+        "thp",
+        "transparent huge pages (never/madvise/always), Linux vs TPP",
+    ),
 ];
 
 struct Args {
@@ -245,6 +249,9 @@ fn main() {
             }
             "topology" => {
                 sweeps::sweep_topology(&scale);
+            }
+            "thp" => {
+                sweeps::sweep_thp(&scale);
             }
             other => {
                 eprintln!("unknown target: {other}");

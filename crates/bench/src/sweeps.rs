@@ -8,6 +8,8 @@
 //!   (ASIC target vs. FPGA prototype vs. worse),
 //! * [`sweep_ratio`] — the local:CXL capacity curve between the paper's
 //!   2:1 and 1:4 end points,
+//! * [`sweep_thp`] — transparent huge pages (`never`/`madvise`/`always`)
+//!   under default Linux vs. TPP,
 //! * [`zswap_comparison`] — TPP vs. in-memory swapping (zswap/zram).
 //!
 //! Like the evaluation figures, sweeps enumerate their whole grid as
@@ -288,6 +290,89 @@ pub fn sweep_topology(scale: &Scale) -> Vec<Vec<String>> {
             "local traffic",
             "demoted",
             "nearest demote",
+            "throughput vs all-local",
+        ],
+        &rows,
+    );
+    rows
+}
+
+/// Transparent-huge-page grid: Cache1 (the paper's demotion-heavy 1:4
+/// configuration) and the THP-friendly profile, default Linux vs. TPP,
+/// across the three `ThpMode`s.
+///
+/// `never` must reproduce the base-page numbers exactly (the huge-page
+/// subsystem is compiled out of the run, not merely idle). `madvise`
+/// enables khugepaged collapse only; `always` adds fault-time THP
+/// allocation and kcompactd. The counters show where huge pages come
+/// from (fault vs. collapse) and what tiering does to them: TPP demotes
+/// compound units whole when the CXL node has an aligned free block and
+/// splits them otherwise, so demotion-heavy cells report nonzero
+/// `thp_split`.
+pub fn sweep_thp(scale: &Scale) -> Vec<Vec<String>> {
+    use tiered_mem::{ThpMode, VmEvent};
+    let profiles = [
+        tiered_workloads::cache1(scale.ws_pages),
+        tiered_workloads::thp_friendly(scale.ws_pages),
+    ];
+    let modes = [ThpMode::Never, ThpMode::Madvise, ThpMode::Always];
+    // Specs 0..profiles.len() are the per-workload all-local baselines;
+    // grid cells follow in (workload, policy, mode) order.
+    let mut specs: Vec<CellSpec> = profiles.iter().map(|p| baseline_spec(p, scale)).collect();
+    let mut cells = Vec::new();
+    for (pi, profile) in profiles.iter().enumerate() {
+        let ws = profile.working_set_pages();
+        for choice in [PolicyChoice::Linux, PolicyChoice::Tpp] {
+            for mode in modes {
+                let (local, cxl) = one_to_four_shape(ws);
+                specs.push(CellSpec::new(
+                    profile.clone(),
+                    move || {
+                        let mut builder = Memory::builder();
+                        builder
+                            .node(NodeKind::LocalDram, local.max(64))
+                            .node(NodeKind::Cxl, cxl.max(64))
+                            .swap_pages(ws * 4)
+                            .thp_mode(mode);
+                        builder.build()
+                    },
+                    choice.clone(),
+                    scale.duration_ns,
+                    scale.seed,
+                ));
+                cells.push((pi, mode));
+            }
+        }
+    }
+    let results = run_all(&specs, scale);
+    let mut rows = Vec::new();
+    for ((pi, mode), r) in cells.iter().zip(&results[profiles.len()..]) {
+        let base = &results[*pi];
+        rows.push(vec![
+            r.workload.clone(),
+            r.policy.clone(),
+            mode.to_string(),
+            format!("{}", r.vmstat.get(VmEvent::ThpFaultAlloc)),
+            format!("{}", r.vmstat.get(VmEvent::ThpCollapseAlloc)),
+            format!("{}", r.vmstat.get(VmEvent::ThpSplit)),
+            format!(
+                "{}/{}",
+                r.vmstat.get(VmEvent::CompactSuccess),
+                r.vmstat.get(VmEvent::CompactFail)
+            ),
+            pct(r.relative_throughput(base)),
+        ]);
+    }
+    print_table(
+        "Sweep — transparent huge pages (Cache1/THP-friendly, 1:4, Linux vs TPP)",
+        &[
+            "workload",
+            "policy",
+            "thp",
+            "thp_fault_alloc",
+            "collapsed",
+            "split",
+            "compact ok/fail",
             "throughput vs all-local",
         ],
         &rows,

@@ -14,9 +14,10 @@
 //!   [`PlacementPolicy::validate_config`] reproduces as a hard error.
 
 use tiered_mem::telemetry::{PromoteFailReason, PromoteSkipReason};
-use tiered_mem::{Memory, NodeId, PageType, Pfn, Pid, TraceEvent, Vpn};
+use tiered_mem::{Memory, NodeId, PageFlags, PageType, Pfn, Pid, TraceEvent, Vpn};
 use tiered_sim::{Periodic, SEC};
 
+use super::huge::{run_huge_daemons, HugeState, COMPOUND_MIGRATE_FACTOR};
 use super::linux_default::{evict_page, fault_with_fallback, LinuxDefaultConfig};
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
@@ -64,6 +65,7 @@ pub struct AutoTiering {
     buffer_capacity: u64,
     initialised: bool,
     kswapd_active: Vec<bool>,
+    huge_state: HugeState,
 }
 
 impl AutoTiering {
@@ -83,6 +85,7 @@ impl AutoTiering {
             buffer_capacity: 0,
             initialised: false,
             kswapd_active: Vec::new(),
+            huge_state: HugeState::default(),
         }
     }
 
@@ -146,6 +149,27 @@ impl AutoTiering {
             for &pfn in &scratch.victims {
                 // Timer-based criterion: only cold-by-counter pages move.
                 if ctx.memory.frames().frame(pfn).hotness() > 1 {
+                    continue;
+                }
+                // AutoTiering always splits a compound before demoting
+                // (split-on-demote): its per-page hotness ranking has no
+                // notion of compound units, so the base pages re-enter the
+                // cold end of the LRU and move individually.
+                if ctx
+                    .memory
+                    .frames()
+                    .frame(pfn)
+                    .flags()
+                    .contains(PageFlags::HEAD)
+                {
+                    ctx.memory.split_huge_page(pfn);
+                    let cost = ctx.latency.migrate_page_ns;
+                    if cost > time_left {
+                        time_left = 0;
+                        break;
+                    }
+                    time_left -= cost;
+                    progressed = true;
                     continue;
                 }
                 let frame = ctx.memory.frames().frame(pfn);
@@ -279,7 +303,21 @@ impl PlacementPolicy for AutoTiering {
             to: target,
         });
         let page_type = ctx.memory.frames().frame(pfn).page_type();
-        match ctx.memory.migrate_page(pfn, target) {
+        // A hinted compound head promotes as one unit (hint sampling is
+        // head-granular); it still consumes a single buffer token — the
+        // buffer models reserved *decisions*, not pages.
+        let is_head = ctx
+            .memory
+            .frames()
+            .frame(pfn)
+            .flags()
+            .contains(PageFlags::HEAD);
+        let migrated = if is_head {
+            ctx.memory.migrate_huge(pfn, target)
+        } else {
+            ctx.memory.migrate_page(pfn, target)
+        };
+        match migrated {
             Ok(_) => {
                 self.buffer_tokens = self.buffer_tokens.saturating_sub(1);
                 ctx.memory.record(TraceEvent::PromoteSuccess {
@@ -288,8 +326,14 @@ impl PlacementPolicy for AutoTiering {
                     to: target,
                     page_type,
                 });
-                ctx.latency
-                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target))
+                let unit = ctx
+                    .latency
+                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target));
+                if is_head {
+                    unit * COMPOUND_MIGRATE_FACTOR
+                } else {
+                    unit
+                }
             }
             Err(_) => {
                 ctx.memory.record(TraceEvent::PromoteFail {
@@ -331,6 +375,7 @@ impl PlacementPolicy for AutoTiering {
             );
             self.kswapd_active[node.index()] = active;
         }
+        run_huge_daemons(ctx, &self.config.linux.huge, &mut self.huge_state);
         if self.scan_timer.fire(ctx.now_ns) > 0 {
             self.sampler.scan(ctx.memory);
         }
@@ -478,5 +523,82 @@ mod tests {
         };
         p.tick(&mut ctx);
         assert_eq!(m.frames().frame(pfn).hotness(), 4);
+    }
+
+    #[test]
+    fn demotion_splits_compounds_first() {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 2048)
+            .node(NodeKind::Cxl, 2048)
+            .thp_mode(tiered_mem::ThpMode::Always)
+            .build();
+        m.create_process(Pid(1));
+        let (lat, mut rng) = (LatencyModel::datacenter(), SimRng::seed(1));
+        let mut p = AutoTiering::new();
+        m.alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        // Push below the classic low watermark (AutoTiering stays coupled)
+        // with hot base pages; the cold compound is the first victim.
+        let low = m.node(NodeId(0)).watermarks().base.low;
+        let mut vpn = 100_000;
+        while m.free_pages(NodeId(0)) >= low {
+            let pfn = m
+                .alloc_and_map(NodeId(0), Pid(1), Vpn(vpn), PageType::Anon)
+                .unwrap();
+            m.frames_mut()
+                .frame_mut(pfn)
+                .flags_mut()
+                .insert(PageFlags::REFERENCED);
+            vpn += 1;
+        }
+        for _ in 0..10 {
+            let mut ctx = PolicyCtx {
+                memory: &mut m,
+                latency: &lat,
+                now_ns: 0,
+                rng: &mut rng,
+            };
+            p.tick(&mut ctx);
+        }
+        assert!(
+            m.vmstat().get(VmEvent::ThpSplit) >= 1,
+            "AutoTiering must split-on-demote"
+        );
+        assert!(
+            m.frames().used_pages(NodeId(1)) > 0,
+            "the split base pages should demote individually"
+        );
+        m.validate();
+    }
+
+    #[test]
+    fn compound_promotion_moves_the_whole_unit() {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 2048)
+            .node(NodeKind::Cxl, 2048)
+            .thp_mode(tiered_mem::ThpMode::Always)
+            .build();
+        m.create_process(Pid(1));
+        let (lat, mut rng) = (LatencyModel::datacenter(), SimRng::seed(1));
+        let mut p = AutoTiering::new();
+        let head = m
+            .alloc_huge_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        // Hot by counter, so the frequency criterion passes.
+        for _ in 0..4 {
+            m.frames_mut().frame_mut(head).touch_hotness();
+        }
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
+        let cost = p.on_hint_fault(&mut ctx, head);
+        assert_eq!(cost, lat.migrate_page_ns * COMPOUND_MIGRATE_FACTOR);
+        let new_head = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
+        assert_eq!(m.frames().frame(new_head).node(), NodeId(0));
+        assert!(m.frames().frame(new_head).flags().contains(PageFlags::HEAD));
+        m.validate();
     }
 }

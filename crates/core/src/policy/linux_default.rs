@@ -5,10 +5,12 @@
 //! there forever.
 
 use tiered_mem::{
-    Memory, NodeId, PageFlags, PageKey, PageLocation, PageType, Pfn, Pid, TraceEvent, Vpn,
+    Memory, NodeId, PageFlags, PageKey, PageLocation, PageType, Pfn, Pid, ThpMode, TraceEvent, Vpn,
+    HUGE_PAGE_FRAMES,
 };
 use tiered_sim::{LatencyModel, MS};
 
+use super::huge::{run_huge_daemons, HugeConfig, HugeState};
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::{FaultOutcome, PlacementPolicy, PolicyCtx};
 
@@ -19,6 +21,9 @@ pub struct LinuxDefaultConfig {
     pub kswapd_budget: DaemonBudget,
     /// Daemon wakeup period.
     pub tick_period_ns: u64,
+    /// Huge-page daemon knobs (khugepaged/kcompactd); inert unless the
+    /// machine runs with a [`ThpMode`] other than `Never`.
+    pub huge: HugeConfig,
 }
 
 impl Default for LinuxDefaultConfig {
@@ -26,6 +31,7 @@ impl Default for LinuxDefaultConfig {
         LinuxDefaultConfig {
             kswapd_budget: DaemonBudget::kswapd(),
             tick_period_ns: 50 * MS,
+            huge: HugeConfig::default(),
         }
     }
 }
@@ -35,15 +41,13 @@ impl Default for LinuxDefaultConfig {
 pub struct LinuxDefault {
     config: LinuxDefaultConfig,
     kswapd_active: Vec<bool>,
+    huge_state: HugeState,
 }
 
 impl LinuxDefault {
     /// Creates the policy with default knobs.
     pub fn new() -> LinuxDefault {
-        LinuxDefault {
-            config: LinuxDefaultConfig::default(),
-            kswapd_active: Vec::new(),
-        }
+        LinuxDefault::with_config(LinuxDefaultConfig::default())
     }
 
     /// Creates the policy with explicit knobs.
@@ -51,6 +55,7 @@ impl LinuxDefault {
         LinuxDefault {
             config,
             kswapd_active: Vec::new(),
+            huge_state: HugeState::default(),
         }
     }
 }
@@ -84,6 +89,7 @@ impl PlacementPolicy for LinuxDefault {
                 &mut self.kswapd_active[i],
             );
         }
+        run_huge_daemons(ctx, &self.config.huge, &mut self.huge_state);
     }
 
     fn tick_period_ns(&self) -> u64 {
@@ -135,6 +141,40 @@ pub(crate) fn fault_with_fallback(
     );
     let base_cost = materialise_cost_ns(ctx.latency, page_type, was_swapped);
     let order = ctx.memory.fallback_order(prefer);
+    // THP at fault time (`ThpMode::Always`): an anon first-touch fault
+    // whose aligned 512-page window is entirely unmapped gets a compound
+    // page on the first node in fallback order that has watermark room
+    // for the whole block. Fragmentation (no aligned free block) or
+    // pressure falls through to the base-page path below.
+    if ctx.memory.thp_mode() == ThpMode::Always && page_type.is_anon() && !was_swapped {
+        let base = Vpn(vpn.0 & !(HUGE_PAGE_FRAMES - 1));
+        if window_unmapped(ctx.memory, pid, base) {
+            for node in &order {
+                let free = ctx.memory.free_pages(*node);
+                let wm = ctx.memory.node(*node).watermarks().base;
+                if !wm.allows_allocation(free.saturating_sub(HUGE_PAGE_FRAMES - 1)) {
+                    continue;
+                }
+                if let Ok(head) = ctx.memory.alloc_huge_and_map(*node, pid, base, page_type) {
+                    ctx.memory.record(TraceEvent::Fault {
+                        page: PageKey::new(pid, vpn),
+                        major: false,
+                    });
+                    if *node != prefer && ctx.memory.trace_enabled() {
+                        ctx.memory.record(TraceEvent::Decision {
+                            policy,
+                            reason: "alloc_spill_below_watermark",
+                            page: Some(PageKey::new(pid, vpn)),
+                        });
+                    }
+                    return FaultOutcome {
+                        pfn: Pfn(head.0 + (vpn.0 - base.0) as u32),
+                        cost_ns: base_cost,
+                    };
+                }
+            }
+        }
+    }
     for node in &order {
         let wm = ctx.memory.node(*node).watermarks().base;
         if !wm.allows_allocation(ctx.memory.free_pages(*node)) {
@@ -174,6 +214,14 @@ pub(crate) fn fault_with_fallback(
         }
     }
     panic!("simulated OOM: no node can host {pid}:{vpn} even after direct reclaim");
+}
+
+/// Whether the whole aligned 512-page window at `base` is unmapped (a
+/// swap entry counts as mapped — swapped pages must come back as base
+/// pages so their contents survive).
+fn window_unmapped(memory: &Memory, pid: Pid, base: Vpn) -> bool {
+    let space = memory.space(pid);
+    (0..HUGE_PAGE_FRAMES).all(|i| space.translate(Vpn(base.0 + i)).is_none())
 }
 
 /// Attempts the actual placement on `node` (swap-in or fresh mapping).
@@ -523,5 +571,77 @@ mod tests {
             rng: &mut rng,
         };
         assert_eq!(p.on_hint_fault(&mut ctx, out.pfn), 0);
+    }
+
+    fn thp_parts(mode: ThpMode) -> (Memory, LatencyModel, SimRng) {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 2048)
+            .node(NodeKind::Cxl, 2048)
+            .swap_pages(1024)
+            .thp_mode(mode)
+            .build();
+        m.create_process(Pid(1));
+        (m, LatencyModel::datacenter(), SimRng::seed(7))
+    }
+
+    #[test]
+    fn always_mode_anon_faults_allocate_compound_pages() {
+        let (mut m, lat, mut rng) = thp_parts(ThpMode::Always);
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 700, PageType::Anon);
+        assert_eq!(m.vmstat().get(VmEvent::ThpFaultAlloc), 1);
+        let head = m.compound_head(out.pfn);
+        assert!(m.frames().frame(head).flags().contains(PageFlags::HEAD));
+        // The faulting VPN resolves inside the window, and its neighbours
+        // were mapped along with it.
+        assert_eq!(out.cost_ns, lat.minor_fault_ns);
+        assert!(matches!(
+            m.space(Pid(1)).translate(Vpn(513)),
+            Some(PageLocation::Mapped(_))
+        ));
+        m.validate();
+    }
+
+    #[test]
+    fn always_mode_file_faults_stay_base_pages() {
+        let (mut m, lat, mut rng) = thp_parts(ThpMode::Always);
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 0, PageType::File);
+        assert!(!m
+            .frames()
+            .frame(out.pfn)
+            .flags()
+            .intersects(PageFlags::HEAD | PageFlags::TAIL));
+        assert_eq!(m.vmstat().get(VmEvent::ThpFaultAlloc), 0);
+    }
+
+    #[test]
+    fn madvise_mode_faults_stay_base_pages() {
+        let (mut m, lat, mut rng) = thp_parts(ThpMode::Madvise);
+        let mut p = LinuxDefault::new();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 0, PageType::Anon);
+        assert!(!m
+            .frames()
+            .frame(out.pfn)
+            .flags()
+            .intersects(PageFlags::HEAD | PageFlags::TAIL));
+        assert_eq!(m.vmstat().get(VmEvent::ThpFaultAlloc), 0);
+    }
+
+    #[test]
+    fn partially_mapped_windows_fall_back_to_base_pages() {
+        let (mut m, lat, mut rng) = thp_parts(ThpMode::Always);
+        let mut p = LinuxDefault::new();
+        // Pre-map one page of the target window as a base page.
+        m.alloc_and_map(NodeId(1), Pid(1), Vpn(520), PageType::Anon)
+            .unwrap();
+        let out = fault(&mut p, &mut m, &lat, &mut rng, 700, PageType::Anon);
+        assert!(!m
+            .frames()
+            .frame(out.pfn)
+            .flags()
+            .intersects(PageFlags::HEAD | PageFlags::TAIL));
+        assert_eq!(m.vmstat().get(VmEvent::ThpFaultAlloc), 0);
+        m.validate();
     }
 }

@@ -17,6 +17,7 @@
 //!   related-work section argues against (§7).
 
 mod autotiering;
+mod huge;
 mod inmem_swap;
 mod linux_default;
 mod numa_balancing;
@@ -25,6 +26,10 @@ mod sampler;
 mod tpp_policy;
 
 pub use autotiering::{AutoTiering, AutoTieringConfig};
+pub use huge::{
+    kcompactd_pass, khugepaged_pass, run_huge_daemons, HugeConfig, HugeState,
+    COMPOUND_MIGRATE_FACTOR,
+};
 pub use inmem_swap::{InMemorySwap, InMemorySwapConfig};
 pub use linux_default::{LinuxDefault, LinuxDefaultConfig};
 pub use numa_balancing::{NumaBalancing, NumaBalancingConfig};

@@ -108,6 +108,12 @@ impl HintSampler {
                 if !in_scope {
                     continue;
                 }
+                // Compound pages are sampled at head granularity: hinting
+                // a tail could never fire (tails carry no LRU standing and
+                // the head decides placement for the whole unit).
+                if memory.frames().frame(pfn).flags().contains(PageFlags::TAIL) {
+                    continue;
+                }
                 let frame = memory.frames_mut().frame_mut(pfn);
                 if !frame.flags().contains(PageFlags::HINTED) {
                     frame.flags_mut().insert(PageFlags::HINTED);

@@ -27,9 +27,10 @@
 //! paper's component ablations (Figures 17 and 18).
 
 use tiered_mem::telemetry::{PromoteFailReason, PromoteSkipReason};
-use tiered_mem::{NodeId, PageFlags, PageType, Pfn, Pid, TraceEvent, Vpn};
+use tiered_mem::{NodeId, PageFlags, PageType, Pfn, Pid, TraceEvent, Vpn, HUGE_PAGE_FRAMES};
 use tiered_sim::{Periodic, MS};
 
+use super::huge::{run_huge_daemons, HugeConfig, HugeState, COMPOUND_MIGRATE_FACTOR};
 use super::linux_default::{evict_page, fault_with_fallback, kswapd_pass, materialise_cost_ns};
 use super::reclaim::{select_victims_into, DaemonBudget, ReclaimScratch, VictimClass};
 use super::sampler::{HintSampler, SampleScope, SamplerConfig};
@@ -59,6 +60,9 @@ pub struct TppConfig {
     /// code grew after the paper): bounds how much migration bandwidth
     /// promotions may consume. `None` disables the limit.
     pub promote_rate_limit: Option<u64>,
+    /// Huge-page daemon knobs (khugepaged/kcompactd); inert unless the
+    /// machine runs with a `ThpMode` other than `Never`.
+    pub huge: HugeConfig,
 }
 
 impl Default for TppConfig {
@@ -72,6 +76,7 @@ impl Default for TppConfig {
             active_lru_filter: true,
             cache_to_cxl: false,
             promote_rate_limit: None,
+            huge: HugeConfig::default(),
         }
     }
 }
@@ -91,6 +96,7 @@ pub struct Tpp {
     /// machine runs one demoter per CPU socket; each may carry its own
     /// budget. Nodes without an override use `config.demote_budget`.
     node_demote_budgets: Vec<Option<DaemonBudget>>,
+    huge_state: HugeState,
 }
 
 impl Tpp {
@@ -112,6 +118,7 @@ impl Tpp {
             token_refill: Periodic::new(tiered_sim::SEC),
             kswapd_active: Vec::new(),
             node_demote_budgets: Vec::new(),
+            huge_state: HugeState::default(),
         }
     }
 
@@ -227,6 +234,39 @@ impl Tpp {
                 let frame = ctx.memory.frames().frame(pfn);
                 let page_type = frame.page_type();
                 let page = frame.owner().expect("demotion victim is allocated");
+                // Split-on-demote vs migrate-whole: a cold compound moves
+                // as one unit when the target can supply an aligned
+                // block; otherwise it is shattered so the base pages take
+                // the ordinary path on later passes.
+                if frame.flags().contains(PageFlags::HEAD) {
+                    let cost = match ctx.memory.migrate_huge(pfn, target) {
+                        Ok(new_head) => {
+                            ctx.memory
+                                .frames_mut()
+                                .frame_mut(new_head)
+                                .flags_mut()
+                                .insert(PageFlags::DEMOTED);
+                            ctx.memory.record(TraceEvent::Demote {
+                                page,
+                                from: node,
+                                to: target,
+                                page_type,
+                            });
+                            demote_cost * COMPOUND_MIGRATE_FACTOR
+                        }
+                        Err(_) => {
+                            ctx.memory.split_huge_page(pfn);
+                            ctx.latency.migrate_page_ns
+                        }
+                    };
+                    if cost > time_left {
+                        time_left = 0;
+                        break;
+                    }
+                    time_left -= cost;
+                    progressed = true;
+                    continue;
+                }
                 let cost = match ctx.memory.migrate_page(pfn, target) {
                     Ok(new_pfn) => {
                         // Tag for the ping-pong detector (§5.5).
@@ -369,11 +409,21 @@ impl PlacementPolicy for Tpp {
         // Promote to the accessing socket's DRAM (§5.3): the faulting
         // task's home node, not a hard-coded node 0.
         let target = ctx.memory.home_node(page.pid);
+        // A hinted compound head promotes the whole 512-page unit in one
+        // decision (hint sampling is head-granular), so the watermark is
+        // checked for the whole block.
+        let is_head = ctx
+            .memory
+            .frames()
+            .frame(pfn)
+            .flags()
+            .contains(PageFlags::HEAD);
+        let need = if is_head { HUGE_PAGE_FRAMES } else { 1 };
         // Promotion ignores the allocation watermark (§5.3) — only the
         // hard min floor gates it. Decoupled demotion keeps free pages
         // above that essentially always.
         let wm = ctx.memory.node(target).watermarks();
-        if !wm.allows_promotion(ctx.memory.free_pages(target)) {
+        if !wm.allows_promotion(ctx.memory.free_pages(target).saturating_sub(need - 1)) {
             ctx.memory.record(TraceEvent::PromoteFail {
                 page,
                 reason: PromoteFailReason::LowMem,
@@ -386,7 +436,12 @@ impl PlacementPolicy for Tpp {
             to: target,
         });
         let page_type = ctx.memory.frames().frame(pfn).page_type();
-        match ctx.memory.migrate_page(pfn, target) {
+        let migrated = if is_head {
+            ctx.memory.migrate_huge(pfn, target)
+        } else {
+            ctx.memory.migrate_page(pfn, target)
+        };
+        match migrated {
             Ok(new_pfn) => {
                 // Promotion clears PG_demoted (§5.5).
                 ctx.memory
@@ -400,8 +455,14 @@ impl PlacementPolicy for Tpp {
                     to: target,
                     page_type,
                 });
-                ctx.latency
-                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target))
+                let unit = ctx
+                    .latency
+                    .migrate_cost_ns(ctx.memory.migrate_hops(node, target));
+                if is_head {
+                    unit * COMPOUND_MIGRATE_FACTOR
+                } else {
+                    unit
+                }
             }
             Err(tiered_mem::MigrateError::DstNoMemory { .. }) => {
                 ctx.memory.record(TraceEvent::PromoteFail {
@@ -439,6 +500,7 @@ impl PlacementPolicy for Tpp {
             );
             self.kswapd_active[node.index()] = active;
         }
+        run_huge_daemons(ctx, &self.config.huge, &mut self.huge_state);
         if self.scan_timer.fire(ctx.now_ns) > 0 {
             self.sampler.scan(ctx.memory);
         }
@@ -793,6 +855,119 @@ mod tests {
         }
         tick(&mut p, &mut m, &lat, &mut rng, 50 * MS);
         assert!(m.vmstat().demoted_total() > 0, "below low it must demote");
+        m.validate();
+    }
+
+    use tiered_mem::{ThpMode, HUGE_PAGE_FRAMES};
+
+    fn thp_setup(local: u64, cxl: u64) -> (Memory, LatencyModel, SimRng) {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, local)
+            .node(NodeKind::Cxl, cxl)
+            .swap_pages(4096)
+            .thp_mode(ThpMode::Always)
+            .build();
+        m.create_process(Pid(1));
+        (m, LatencyModel::datacenter(), SimRng::seed(1))
+    }
+
+    #[test]
+    fn compound_promotion_moves_the_whole_unit() {
+        let (mut m, lat, mut rng) = thp_setup(2048, 2048);
+        let mut p = Tpp::new();
+        let head = m
+            .alloc_huge_and_map(NodeId(1), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let mut ctx = PolicyCtx {
+            memory: &mut m,
+            latency: &lat,
+            now_ns: 0,
+            rng: &mut rng,
+        };
+        // Heads start on the active LRU, so the §5.3 filter passes.
+        let cost = p.on_hint_fault(&mut ctx, head);
+        assert_eq!(
+            cost,
+            lat.migrate_page_ns * super::COMPOUND_MIGRATE_FACTOR,
+            "a compound promotion is one decision at compound cost"
+        );
+        for i in 0..HUGE_PAGE_FRAMES {
+            let pfn = m.space(Pid(1)).translate(Vpn(i)).unwrap().pfn().unwrap();
+            assert_eq!(m.frames().frame(pfn).node(), NodeId(0));
+        }
+        assert_eq!(m.vmstat().promoted_total(), 1);
+        assert_eq!(m.vmstat().get(VmEvent::ThpSplit), 0);
+        m.validate();
+    }
+
+    #[test]
+    fn compound_demotion_migrates_whole_when_target_has_an_aligned_block() {
+        let (mut m, lat, mut rng) = thp_setup(2048, 4096);
+        let mut p = Tpp::new();
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        // Push the local node below its demotion trigger with hot base
+        // pages; the untouched compound is the coldest victim.
+        let trigger = m.node(NodeId(0)).watermarks().demote_trigger;
+        let mut vpn = 100_000;
+        while m.free_pages(NodeId(0)) >= trigger {
+            let pfn = m
+                .alloc_and_map(NodeId(0), Pid(1), Vpn(vpn), PageType::Anon)
+                .unwrap();
+            m.frames_mut()
+                .frame_mut(pfn)
+                .flags_mut()
+                .insert(PageFlags::REFERENCED);
+            vpn += 1;
+        }
+        for t in 0..20 {
+            tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
+        }
+        let new_head = m.space(Pid(1)).translate(Vpn(0)).unwrap().pfn().unwrap();
+        let frame = m.frames().frame(new_head);
+        assert_eq!(frame.node(), NodeId(1), "the compound should demote");
+        assert!(frame.flags().contains(PageFlags::HEAD), "still one unit");
+        assert!(frame.flags().contains(PageFlags::DEMOTED));
+        assert_eq!(m.vmstat().get(VmEvent::ThpSplit), 0);
+        let _ = head;
+        m.validate();
+    }
+
+    #[test]
+    fn compound_demotion_splits_when_target_has_no_aligned_block() {
+        // A 511-page CXL node can never hold an aligned order-9 block, so
+        // every compound demotion must take the split-on-demote path.
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 2048)
+            .node(NodeKind::Cxl, 511)
+            .swap_pages(4096)
+            .thp_mode(ThpMode::Always)
+            .build();
+        m.create_process(Pid(1));
+        let (lat, mut rng) = (LatencyModel::datacenter(), SimRng::seed(1));
+        let mut p = Tpp::new();
+        m.alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let trigger = m.node(NodeId(0)).watermarks().demote_trigger;
+        let mut vpn = 100_000;
+        while m.free_pages(NodeId(0)) >= trigger {
+            let pfn = m
+                .alloc_and_map(NodeId(0), Pid(1), Vpn(vpn), PageType::Anon)
+                .unwrap();
+            m.frames_mut()
+                .frame_mut(pfn)
+                .flags_mut()
+                .insert(PageFlags::REFERENCED);
+            vpn += 1;
+        }
+        for t in 0..10 {
+            tick(&mut p, &mut m, &lat, &mut rng, t * 50 * MS);
+        }
+        assert!(
+            m.vmstat().get(VmEvent::ThpSplit) >= 1,
+            "demotion into a fragmented tier must split"
+        );
         m.validate();
     }
 }

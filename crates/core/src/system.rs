@@ -214,6 +214,18 @@ impl System {
                 frame.touch_hotness();
                 frame.set_last_access_ns(now);
                 let node = frame.node();
+                // A touch anywhere in a compound page keeps the whole
+                // unit warm: only the head has LRU standing, so tail
+                // accesses forward their marks to it (the kernel's
+                // `page_referenced` collects young bits over every PTE of
+                // a THP).
+                if frame.flags().contains(PageFlags::TAIL) {
+                    let head = self.memory.compound_head(pfn);
+                    let head_frame = self.memory.frames_mut().frame_mut(head);
+                    head_frame.flags_mut().insert(mark);
+                    head_frame.touch_hotness();
+                    head_frame.set_last_access_ns(now);
+                }
                 let node_latency = self.node_latency_ns[node.index()];
                 self.metrics.note_access(
                     self.node_is_local[node.index()],
@@ -302,13 +314,23 @@ impl System {
     }
 
     fn touch(&mut self, now: u64, pfn: Pfn, kind: AccessKind) {
+        let mark = if kind == AccessKind::Store {
+            PageFlags::REFERENCED | PageFlags::DIRTY
+        } else {
+            PageFlags::REFERENCED
+        };
         let frame = self.memory.frames_mut().frame_mut(pfn);
-        frame.flags_mut().insert(PageFlags::REFERENCED);
-        if kind == AccessKind::Store {
-            frame.flags_mut().insert(PageFlags::DIRTY);
-        }
+        frame.flags_mut().insert(mark);
         frame.touch_hotness();
         frame.set_last_access_ns(now);
+        // Tail touches keep the whole compound warm (see the fast path).
+        if frame.flags().contains(PageFlags::TAIL) {
+            let head = self.memory.compound_head(pfn);
+            let head_frame = self.memory.frames_mut().frame_mut(head);
+            head_frame.flags_mut().insert(mark);
+            head_frame.touch_hotness();
+            head_frame.set_last_access_ns(now);
+        }
     }
 }
 

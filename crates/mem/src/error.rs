@@ -64,6 +64,13 @@ pub enum MigrateError {
         /// The frame in question.
         pfn: Pfn,
     },
+    /// The frame belongs to a compound (huge) page; callers must migrate
+    /// the whole compound via [`crate::Memory::migrate_huge`] or split it
+    /// first.
+    CompoundPage {
+        /// The frame in question.
+        pfn: Pfn,
+    },
 }
 
 impl fmt::Display for MigrateError {
@@ -78,6 +85,9 @@ impl fmt::Display for MigrateError {
                 write!(f, "source and destination are both {node}")
             }
             MigrateError::Unevictable { pfn } => write!(f, "{pfn} is unevictable"),
+            MigrateError::CompoundPage { pfn } => {
+                write!(f, "{pfn} is part of a compound page")
+            }
         }
     }
 }
@@ -118,6 +128,7 @@ mod tests {
             MigrateError::Busy { pfn: Pfn(3) }.to_string(),
             MigrateError::SameNode { node: NodeId(0) }.to_string(),
             MigrateError::Unevictable { pfn: Pfn(3) }.to_string(),
+            MigrateError::CompoundPage { pfn: Pfn(3) }.to_string(),
             SwapError::Full.to_string(),
             SwapError::BadSlot.to_string(),
         ];

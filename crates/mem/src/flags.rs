@@ -46,6 +46,17 @@ impl PageFlags {
     /// The page was demoted to a slower tier and not yet promoted back.
     /// TPP's `PG_demoted`, bit `0x40` exactly as in the paper (§5.5).
     pub const DEMOTED: PageFlags = PageFlags(0x40);
+    /// The frame is the head of a compound (huge) page (`PG_head`). The
+    /// compound's order is stored on the head frame; only the head is
+    /// linked on an LRU list.
+    pub const HEAD: PageFlags = PageFlags(0x80);
+    /// The frame is a tail of a compound page (`PageTail` analogue). Tail
+    /// frames keep their own owner and reference/hotness state but are
+    /// never LRU-linked, sampled, or migrated individually.
+    pub const TAIL: PageFlags = PageFlags(0x100);
+    /// The frame heads a free block on a buddy free list (`PG_buddy`).
+    /// Maintained by [`FrameTable`](crate::FrameTable) only.
+    pub const BUDDY: PageFlags = PageFlags(0x200);
 
     /// An empty flag set.
     #[inline]
@@ -138,7 +149,7 @@ impl Not for PageFlags {
 
 impl fmt::Debug for PageFlags {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        const NAMES: [(PageFlags, &str); 7] = [
+        const NAMES: [(PageFlags, &str); 10] = [
             (PageFlags::REFERENCED, "REFERENCED"),
             (PageFlags::ACTIVE, "ACTIVE"),
             (PageFlags::DIRTY, "DIRTY"),
@@ -146,6 +157,9 @@ impl fmt::Debug for PageFlags {
             (PageFlags::ISOLATED, "ISOLATED"),
             (PageFlags::UNEVICTABLE, "UNEVICTABLE"),
             (PageFlags::DEMOTED, "DEMOTED"),
+            (PageFlags::HEAD, "HEAD"),
+            (PageFlags::TAIL, "TAIL"),
+            (PageFlags::BUDDY, "BUDDY"),
         ];
         if self.is_empty() {
             return f.write_str("PageFlags(empty)");
@@ -226,6 +240,9 @@ mod tests {
             PageFlags::ISOLATED,
             PageFlags::UNEVICTABLE,
             PageFlags::DEMOTED,
+            PageFlags::HEAD,
+            PageFlags::TAIL,
+            PageFlags::BUDDY,
         ];
         for (i, a) in all.iter().enumerate() {
             for (j, b) in all.iter().enumerate() {

@@ -69,7 +69,7 @@ mod watermark;
 
 pub use error::{AllocError, MigrateError, SwapError};
 pub use flags::PageFlags;
-pub use frame::{Frame, FrameState, FrameTable};
+pub use frame::{Frame, FrameState, FrameTable, HUGE_PAGE_FRAMES, MAX_PAGE_ORDER};
 pub use lru::{LruKind, NodeLru};
 pub use memory::{Memory, MemoryBuilder};
 pub use node::{MemoryNode, NodeKind};
@@ -81,8 +81,8 @@ pub use telemetry::{
 };
 pub use topology::{Link, Topology, LOCAL_DISTANCE};
 pub use types::{
-    mib_from_pages, pages_from_mib, NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn, GIB, MIB,
-    PAGE_SIZE,
+    mib_from_pages, pages_from_mib, NodeId, NodeList, PageKey, PageType, Pfn, Pid, ThpMode, Vpn,
+    GIB, MIB, PAGE_SIZE,
 };
 pub use vmstat::{VmEvent, VmStat};
 pub use watermark::{TppWatermarks, Watermarks, DEFAULT_DEMOTE_SCALE_BP};

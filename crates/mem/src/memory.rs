@@ -12,14 +12,14 @@ use std::fmt;
 
 use crate::error::{AllocError, MigrateError, SwapError};
 use crate::flags::PageFlags;
-use crate::frame::FrameTable;
+use crate::frame::{FrameTable, HUGE_PAGE_FRAMES, MAX_PAGE_ORDER};
 use crate::lru::LruKind;
 use crate::node::{MemoryNode, NodeKind};
 use crate::page_table::{AddressSpace, PageLocation};
 use crate::swap::{SwapDevice, SwapSlot};
 use crate::telemetry::{EventSink, NullSink, TraceEvent, TraceRecord};
 use crate::topology::Topology;
-use crate::types::{NodeId, NodeList, PageKey, PageType, Pfn, Pid, Vpn};
+use crate::types::{NodeId, NodeList, PageKey, PageType, Pfn, Pid, ThpMode, Vpn};
 use crate::vmstat::{VmEvent, VmStat};
 use crate::watermark::{TppWatermarks, DEFAULT_DEMOTE_SCALE_BP};
 
@@ -54,6 +54,7 @@ pub struct MemoryBuilder {
     topology: Topology,
     swap_pages: Option<u64>,
     demote_scale_bp: u32,
+    thp_mode: ThpMode,
 }
 
 impl MemoryBuilder {
@@ -64,6 +65,7 @@ impl MemoryBuilder {
             topology: Topology::new(),
             swap_pages: None,
             demote_scale_bp: DEFAULT_DEMOTE_SCALE_BP,
+            thp_mode: ThpMode::Never,
         }
     }
 
@@ -105,6 +107,16 @@ impl MemoryBuilder {
         self
     }
 
+    /// Sets the machine's transparent-huge-page mode (default
+    /// [`ThpMode::Never`]). Anything other than `Never` switches the
+    /// frame table into buddy (multi-order) free-space management;
+    /// `Never` keeps the flat order-0 allocator with its historical
+    /// allocation sequence.
+    pub fn thp_mode(&mut self, mode: ThpMode) -> &mut MemoryBuilder {
+        self.thp_mode = mode;
+        self
+    }
+
     /// Builds the memory subsystem.
     ///
     /// Placement orders are derived from the topology's distance matrix
@@ -127,7 +139,7 @@ impl MemoryBuilder {
             "node ids must be unique and densely numbered"
         );
         let capacities: Vec<u64> = topo.ids().map(|id| topo.capacity(id)).collect();
-        let frames = FrameTable::new(&capacities);
+        let frames = FrameTable::new_with_thp(&capacities, self.thp_mode != ThpMode::Never);
         let nodes: Vec<MemoryNode> = topo
             .ids()
             .map(|id| {
@@ -159,6 +171,7 @@ impl MemoryBuilder {
             trace_enabled: false,
             trace_now_ns: 0,
             scratch_pfn_bufs: Vec::new(),
+            thp_mode: self.thp_mode,
         }
     }
 }
@@ -194,6 +207,8 @@ pub struct Memory {
     /// Pool of reusable `Pfn` buffers for per-tick scans (reclaim,
     /// demotion). Pure capacity reuse — never observable state.
     scratch_pfn_bufs: Vec<Vec<Pfn>>,
+    /// The machine's transparent-huge-page mode.
+    thp_mode: ThpMode,
 }
 
 impl Clone for Memory {
@@ -216,6 +231,7 @@ impl Clone for Memory {
             trace_enabled: false,
             trace_now_ns: self.trace_now_ns,
             scratch_pfn_bufs: Vec::new(),
+            thp_mode: self.thp_mode,
         }
     }
 }
@@ -233,6 +249,7 @@ impl fmt::Debug for Memory {
             .field("eviction_clocks", &self.eviction_clocks)
             .field("trace_enabled", &self.trace_enabled)
             .field("trace_now_ns", &self.trace_now_ns)
+            .field("thp_mode", &self.thp_mode)
             .finish_non_exhaustive()
     }
 }
@@ -454,6 +471,12 @@ impl Memory {
         &mut self.vmstat
     }
 
+    /// The machine's transparent-huge-page mode.
+    #[inline]
+    pub fn thp_mode(&self) -> ThpMode {
+        self.thp_mode
+    }
+
     // ----- telemetry ------------------------------------------------------
 
     /// Attaches a trace sink. All subsequent [`Memory::record`] calls
@@ -645,6 +668,22 @@ impl Memory {
     ///
     /// Panics if the pid is unknown.
     pub fn release(&mut self, pid: Pid, vpn: Vpn) -> bool {
+        // A member of a compound page cannot be carved out individually:
+        // split the compound back to base pages first (the kernel's
+        // split-on-partial-unmap), then release the one page.
+        if let Some(PageLocation::Mapped(pfn)) =
+            self.spaces.get(&pid).and_then(|s| s.translate(vpn))
+        {
+            if self
+                .frames
+                .frame(pfn)
+                .flags()
+                .intersects(PageFlags::HEAD | PageFlags::TAIL)
+            {
+                let head = self.compound_head(pfn);
+                self.split_huge_page(head);
+            }
+        }
         let space = self
             .spaces
             .get_mut(&pid)
@@ -682,6 +721,9 @@ impl Memory {
         let (owner, page_type, flags, hotness, last_access, src, lru_kind) = {
             let frame = self.frames.frame(pfn);
             let owner = frame.owner().ok_or(MigrateError::NotAllocated { pfn })?;
+            if frame.flags().intersects(PageFlags::HEAD | PageFlags::TAIL) {
+                return Err(MigrateError::CompoundPage { pfn });
+            }
             if frame.node() == dst {
                 return Err(MigrateError::SameNode { node: dst });
             }
@@ -742,6 +784,414 @@ impl Memory {
         Ok(new_pfn)
     }
 
+    // ----- compound (huge) pages -------------------------------------------
+
+    /// The head frame of the compound page containing `pfn` — identity
+    /// for frames that are heads already. Compound alignment is
+    /// node-relative, like every buddy computation.
+    pub fn compound_head(&self, pfn: Pfn) -> Pfn {
+        let start = self.frames.pfn_range(self.frames.frame(pfn).node()).start;
+        let rel = pfn.0 - start;
+        Pfn(start + (rel & !(HUGE_PAGE_FRAMES as u32 - 1)))
+    }
+
+    /// Allocates one 2 MiB compound page (an order-[`MAX_PAGE_ORDER`]
+    /// block) on `node` and maps its [`HUGE_PAGE_FRAMES`] base pages at
+    /// `base_vpn..base_vpn + 512` — the THP fault-time allocation.
+    ///
+    /// The head frame carries [`PageFlags::HEAD`] and the compound order;
+    /// tails carry [`PageFlags::TAIL`] and stay off the LRU lists (only
+    /// the head is linked, so LRU aging and demotion treat the compound
+    /// as one unit). Counts `thp_fault_alloc`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::NoMemory`] if the node has no free aligned block of
+    /// sufficient order, [`AllocError::InvalidNode`] if it does not
+    /// exist. On error nothing is allocated — the caller falls back to a
+    /// base-page fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown, `page_type` is not anonymous,
+    /// `base_vpn` is not 512-page aligned, or any page of the window is
+    /// already backed.
+    pub fn alloc_huge_and_map(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        base_vpn: Vpn,
+        page_type: PageType,
+    ) -> Result<Pfn, AllocError> {
+        assert!(page_type.is_anon(), "compound pages are anonymous-only");
+        assert_eq!(
+            base_vpn.0 % HUGE_PAGE_FRAMES,
+            0,
+            "compound mappings must be {HUGE_PAGE_FRAMES}-page aligned"
+        );
+        if !self.frames.has_node(node) {
+            return Err(AllocError::InvalidNode { node });
+        }
+        {
+            let space = self
+                .spaces
+                .get(&pid)
+                .unwrap_or_else(|| panic!("unknown {pid}"));
+            for i in 0..HUGE_PAGE_FRAMES {
+                let vpn = Vpn(base_vpn.0 + i);
+                assert!(
+                    space.translate(vpn).is_none(),
+                    "{pid}:{vpn} is already backed"
+                );
+            }
+        }
+        let head = self
+            .frames
+            .reserve_block(node, MAX_PAGE_ORDER)
+            .ok_or(AllocError::NoMemory { node })?;
+        for i in 0..HUGE_PAGE_FRAMES {
+            let pfn = Pfn(head.0 + i as u32);
+            self.frames
+                .claim(pfn, PageKey::new(pid, Vpn(base_vpn.0 + i)), page_type);
+            self.frames.frame_mut(pfn).flags_mut().insert(if i == 0 {
+                PageFlags::HEAD
+            } else {
+                PageFlags::TAIL
+            });
+        }
+        self.frames.frame_mut(head).order = MAX_PAGE_ORDER;
+        let space = self.spaces.get_mut(&pid).expect("space vanished");
+        for i in 0..HUGE_PAGE_FRAMES {
+            space.map(Vpn(base_vpn.0 + i), Pfn(head.0 + i as u32));
+        }
+        self.nodes[node.index()]
+            .lru
+            .push_front(&mut self.frames, LruKind::AnonActive, head);
+        self.vmstat.count(VmEvent::ThpFaultAlloc);
+        let key = PageKey::new(pid, base_vpn);
+        if self.nodes[node.index()].is_cpu_less() {
+            self.record(TraceEvent::AllocRemote { page: key, node });
+        } else {
+            self.record(TraceEvent::AllocLocal { page: key, node });
+        }
+        Ok(head)
+    }
+
+    /// Shatters the compound page headed by `head` back into base pages,
+    /// returning how many pages the compound held.
+    ///
+    /// Every page keeps its frame, owner, flags, and hotness; the former
+    /// tails join the **cold end** of the head's LRU list (they never had
+    /// individual LRU standing, so they are the first reclaim candidates
+    /// after a split). Counts `thp_split`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a compound head.
+    pub fn split_huge_page(&mut self, head: Pfn) -> u64 {
+        let (pages, node, kind, owner) = {
+            let frame = self.frames.frame(head);
+            assert!(
+                frame.flags().contains(PageFlags::HEAD),
+                "{head} is not a compound head"
+            );
+            (
+                1u64 << frame.order(),
+                frame.node(),
+                frame.lru_kind().expect("compound head must be LRU-linked"),
+                frame.owner().expect("compound head must be allocated"),
+            )
+        };
+        {
+            let f = self.frames.frame_mut(head);
+            f.flags_mut().remove(PageFlags::HEAD);
+            f.order = 0;
+        }
+        for i in 1..pages {
+            let tail = Pfn(head.0 + i as u32);
+            self.frames
+                .frame_mut(tail)
+                .flags_mut()
+                .remove(PageFlags::TAIL);
+            self.nodes[node.index()]
+                .lru
+                .push_back(&mut self.frames, kind, tail);
+        }
+        self.record(TraceEvent::Split {
+            page: owner,
+            node,
+            pages,
+        });
+        pages
+    }
+
+    /// Whether the 512-page window at `base_vpn` is eligible for
+    /// khugepaged collapse, and if so on which node the compound should
+    /// be assembled: every page resident, anonymous, un-pinned, not
+    /// already compound, all on one node, and at least one of them warm
+    /// (referenced or with hotness history). Returns that common node.
+    pub fn collapse_candidate(&self, pid: Pid, base_vpn: Vpn) -> Option<NodeId> {
+        debug_assert_eq!(base_vpn.0 % HUGE_PAGE_FRAMES, 0);
+        let space = self.spaces.get(&pid)?;
+        let mut node = None;
+        let mut warm = false;
+        for i in 0..HUGE_PAGE_FRAMES {
+            let pfn = match space.translate(Vpn(base_vpn.0 + i)) {
+                Some(PageLocation::Mapped(pfn)) => pfn,
+                _ => return None,
+            };
+            let frame = self.frames.frame(pfn);
+            if !frame.page_type().is_anon() {
+                return None;
+            }
+            if frame.flags().intersects(
+                PageFlags::HEAD | PageFlags::TAIL | PageFlags::ISOLATED | PageFlags::UNEVICTABLE,
+            ) {
+                return None;
+            }
+            match node {
+                None => node = Some(frame.node()),
+                Some(n) if n != frame.node() => return None,
+                _ => {}
+            }
+            warm = warm || frame.flags().contains(PageFlags::REFERENCED) || frame.hotness() > 0;
+        }
+        if warm {
+            node
+        } else {
+            None
+        }
+    }
+
+    /// Collapses the 512 resident base pages at `base_vpn` into one
+    /// compound page on `node` (the khugepaged assembly step): a fresh
+    /// aligned block is reserved, every base page is copied into it in
+    /// window order, and the old scattered frames are freed. Referenced,
+    /// dirty, and hotness state is carried per page; hint-fault marks are
+    /// not (hint sampling restarts at head granularity). Counts
+    /// `thp_collapse_alloc`.
+    ///
+    /// Callers are expected to have validated the window with
+    /// [`Memory::collapse_candidate`].
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::NoMemory`] if `node` cannot supply an aligned block;
+    /// the window is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_vpn` is misaligned or any page of the window is
+    /// not resident.
+    pub fn collapse_range(
+        &mut self,
+        pid: Pid,
+        base_vpn: Vpn,
+        node: NodeId,
+    ) -> Result<Pfn, AllocError> {
+        assert_eq!(
+            base_vpn.0 % HUGE_PAGE_FRAMES,
+            0,
+            "compound mappings must be {HUGE_PAGE_FRAMES}-page aligned"
+        );
+        let new_head = self
+            .frames
+            .reserve_block(node, MAX_PAGE_ORDER)
+            .ok_or(AllocError::NoMemory { node })?;
+        for i in 0..HUGE_PAGE_FRAMES {
+            let vpn = Vpn(base_vpn.0 + i);
+            let old = match self.spaces.get(&pid).and_then(|s| s.translate(vpn)) {
+                Some(PageLocation::Mapped(pfn)) => pfn,
+                other => panic!("{pid}:{vpn} not resident during collapse (found {other:?})"),
+            };
+            let (hotness, last, keep, page_type, old_node) = {
+                let f = self.frames.frame(old);
+                (
+                    f.hotness(),
+                    f.last_access_ns(),
+                    f.flags() & (PageFlags::REFERENCED | PageFlags::DIRTY),
+                    f.page_type(),
+                    f.node(),
+                )
+            };
+            self.nodes[old_node.index()]
+                .lru
+                .remove(&mut self.frames, old);
+            self.frames.free(old);
+            let new = Pfn(new_head.0 + i as u32);
+            self.frames.claim(new, PageKey::new(pid, vpn), page_type);
+            let f = self.frames.frame_mut(new);
+            *f.flags_mut() = keep;
+            f.flags_mut().insert(if i == 0 {
+                PageFlags::HEAD
+            } else {
+                PageFlags::TAIL
+            });
+            f.set_hotness(hotness);
+            f.set_last_access_ns(last);
+            self.spaces
+                .get_mut(&pid)
+                .expect("space vanished")
+                .map(vpn, new);
+        }
+        self.frames.frame_mut(new_head).order = MAX_PAGE_ORDER;
+        self.nodes[node.index()]
+            .lru
+            .push_front(&mut self.frames, LruKind::AnonActive, new_head);
+        self.record(TraceEvent::Collapse {
+            page: PageKey::new(pid, base_vpn),
+            node,
+            pages: HUGE_PAGE_FRAMES,
+        });
+        Ok(new_head)
+    }
+
+    /// Migrates the whole compound page headed by `head` to `dst` as one
+    /// unit — promotion and demotion of THPs move 512 pages under a
+    /// single decision. Exactly one [`TraceEvent::Migrate`] is recorded
+    /// (the src→dst matrix counts compounds once, like base pages).
+    ///
+    /// # Errors
+    ///
+    /// * [`MigrateError::NotAllocated`] — the head frame is free.
+    /// * [`MigrateError::SameNode`] — `dst` already holds the compound.
+    /// * [`MigrateError::Busy`] — the head is isolated by another path.
+    /// * [`MigrateError::DstNoMemory`] — `dst` has no free aligned block
+    ///   (callers typically split and retry page-by-page); the source is
+    ///   left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is allocated but not a compound head.
+    pub fn migrate_huge(&mut self, head: Pfn, dst: NodeId) -> Result<Pfn, MigrateError> {
+        let (owner, src, order, kind) = {
+            let frame = self.frames.frame(head);
+            let owner = frame
+                .owner()
+                .ok_or(MigrateError::NotAllocated { pfn: head })?;
+            assert!(
+                frame.flags().contains(PageFlags::HEAD),
+                "{head} is not a compound head"
+            );
+            if frame.node() == dst {
+                return Err(MigrateError::SameNode { node: dst });
+            }
+            if frame.flags().contains(PageFlags::ISOLATED) {
+                return Err(MigrateError::Busy { pfn: head });
+            }
+            (
+                owner,
+                frame.node(),
+                frame.order(),
+                frame.lru_kind().expect("compound head must be LRU-linked"),
+            )
+        };
+        let new_head = match self
+            .frames
+            .has_node(dst)
+            .then(|| self.frames.reserve_block(dst, order))
+            .flatten()
+        {
+            Some(p) => p,
+            None => {
+                self.record(TraceEvent::MigrateFail {
+                    page: owner,
+                    to: dst,
+                });
+                return Err(MigrateError::DstNoMemory { node: dst });
+            }
+        };
+        let pages = 1u64 << order;
+        self.nodes[src.index()].lru.remove(&mut self.frames, head);
+        for i in 0..pages {
+            let old = Pfn(head.0 + i as u32);
+            let (o_owner, flags, hotness, last, page_type) = {
+                let f = self.frames.frame(old);
+                (
+                    f.owner().expect("compound member must be allocated"),
+                    f.flags(),
+                    f.hotness(),
+                    f.last_access_ns(),
+                    f.page_type(),
+                )
+            };
+            self.frames.free(old);
+            let new = Pfn(new_head.0 + i as u32);
+            self.frames.claim(new, o_owner, page_type);
+            let f = self.frames.frame_mut(new);
+            *f.flags_mut() = flags;
+            f.flags_mut().remove(PageFlags::ACTIVE); // resynced by LRU link
+            f.set_hotness(hotness);
+            f.set_last_access_ns(last);
+            self.spaces
+                .get_mut(&o_owner.pid)
+                .unwrap_or_else(|| panic!("owner {} vanished", o_owner.pid))
+                .map(o_owner.vpn, new);
+        }
+        self.frames.frame_mut(new_head).order = order;
+        self.nodes[dst.index()]
+            .lru
+            .push_front(&mut self.frames, kind, new_head);
+        self.record(TraceEvent::Migrate {
+            page: owner,
+            from: src,
+            to: dst,
+        });
+        Ok(new_head)
+    }
+
+    /// Moves the movable base page `src` into the already-reserved frame
+    /// `dst` on the same node — the compaction daemon's migration step.
+    /// `dst` must have been taken off the free lists with
+    /// [`FrameTable::reserve_page`]. The page keeps its LRU class but
+    /// rejoins at the cold end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is free or off-LRU, `dst` is on a different node,
+    /// or `src` is pinned/compound (not movable).
+    pub fn compact_relocate(&mut self, src: Pfn, dst: Pfn) {
+        let (owner, node, flags, hotness, last, page_type, kind) = {
+            let f = self.frames.frame(src);
+            let owner = f.owner().unwrap_or_else(|| panic!("compacting free {src}"));
+            (
+                owner,
+                f.node(),
+                f.flags(),
+                f.hotness(),
+                f.last_access_ns(),
+                f.page_type(),
+                f.lru_kind().expect("compaction moves LRU-resident pages"),
+            )
+        };
+        assert_eq!(
+            self.frames.frame(dst).node(),
+            node,
+            "compaction is intra-node"
+        );
+        assert!(
+            !flags.intersects(
+                PageFlags::HEAD | PageFlags::TAIL | PageFlags::ISOLATED | PageFlags::UNEVICTABLE
+            ),
+            "{src} is not movable"
+        );
+        self.nodes[node.index()].lru.remove(&mut self.frames, src);
+        self.frames.free(src);
+        self.frames.claim(dst, owner, page_type);
+        let f = self.frames.frame_mut(dst);
+        *f.flags_mut() = flags;
+        f.flags_mut().remove(PageFlags::ACTIVE);
+        f.set_hotness(hotness);
+        f.set_last_access_ns(last);
+        self.spaces
+            .get_mut(&owner.pid)
+            .unwrap_or_else(|| panic!("owner {} vanished", owner.pid))
+            .map(owner.vpn, dst);
+        self.nodes[node.index()]
+            .lru
+            .push_back(&mut self.frames, kind, dst);
+    }
+
     /// Pages `pfn` out to the swap device, freeing the frame.
     ///
     /// # Errors
@@ -753,6 +1203,17 @@ impl Memory {
     ///
     /// Panics if the frame is free.
     pub fn swap_out(&mut self, pfn: Pfn) -> Result<SwapSlot, SwapError> {
+        // Compound pages are not swapped as a unit; split first, then the
+        // caller's chosen member pages out alone.
+        if self
+            .frames
+            .frame(pfn)
+            .flags()
+            .intersects(PageFlags::HEAD | PageFlags::TAIL)
+        {
+            let head = self.compound_head(pfn);
+            self.split_huge_page(head);
+        }
         let owner = self
             .frames
             .frame(pfn)
@@ -916,6 +1377,9 @@ impl Memory {
     ///
     /// Panics on the first violated invariant.
     pub fn validate(&self) {
+        // 0. Buddy free-list structure (link integrity, alignment,
+        //    per-order counts, free totals).
+        self.frames.validate_free_lists();
         // 1. Per-node frame accounting.
         for n in &self.nodes {
             let cap = self.frames.capacity(n.id());
@@ -926,17 +1390,51 @@ impl Memory {
             n.lru.validate(&self.frames);
             // 3. Every allocated frame on this node is on one of its lists
             //    (the simulator never leaves pages floating off-LRU between
-            //    operations) and its class matches its type.
+            //    operations) and its class matches its type — except
+            //    compound tails, which are represented on the LRU solely
+            //    by their head. Compound shape is checked along the way.
+            let mut tails = 0u64;
+            for pfn in self.frames.allocated_on(n.id()) {
+                let frame = self.frames.frame(pfn);
+                if frame.flags().contains(PageFlags::TAIL) {
+                    assert!(frame.lru_kind().is_none(), "tail {pfn} on an LRU list");
+                    tails += 1;
+                }
+                if frame.flags().contains(PageFlags::HEAD) {
+                    assert_eq!(frame.order(), MAX_PAGE_ORDER, "head {pfn} with wrong order");
+                    let start = self.frames.pfn_range(n.id()).start;
+                    assert_eq!(
+                        ((pfn.0 - start) as u64) % HUGE_PAGE_FRAMES,
+                        0,
+                        "misaligned compound head {pfn}"
+                    );
+                    let owner = frame.owner().expect("head must be allocated");
+                    for i in 1..HUGE_PAGE_FRAMES {
+                        let tail = self.frames.frame(Pfn(pfn.0 + i as u32));
+                        assert!(
+                            tail.flags().contains(PageFlags::TAIL),
+                            "compound {pfn} missing tail {i}"
+                        );
+                        let t = tail.owner().expect("tail must be allocated");
+                        assert_eq!(t.pid, owner.pid, "mixed-pid compound at {pfn}");
+                        assert_eq!(
+                            t.vpn.0,
+                            owner.vpn.0 + i,
+                            "non-contiguous compound vpns at {pfn}"
+                        );
+                    }
+                }
+            }
             let mut on_lists = 0u64;
             for kind in LruKind::ALL {
                 on_lists += n.lru.len(kind);
             }
             assert_eq!(
                 on_lists,
-                used,
+                used - tails,
                 "{}: {} pages off-LRU",
                 n.id(),
-                used - on_lists
+                used - tails - on_lists
             );
         }
         // 4. Page-table ↔ frame-owner bijection.
@@ -1347,5 +1845,300 @@ mod tests {
         m.alloc_and_map(NodeId(0), Pid(1), Vpn(2), PageType::File)
             .unwrap();
         assert_eq!(m.node_usage(NodeId(0)), (1, 2));
+    }
+
+    // ---- compound (huge) pages -------------------------------------
+
+    fn thp_two_node() -> Memory {
+        Memory::builder()
+            .node(NodeKind::LocalDram, 2048)
+            .node(NodeKind::Cxl, 2048)
+            .swap_pages(4096)
+            .thp_mode(ThpMode::Always)
+            .build()
+    }
+
+    #[test]
+    fn alloc_huge_maps_whole_window_under_one_lru_entry() {
+        let mut m = thp_two_node();
+        assert_eq!(m.thp_mode(), ThpMode::Always);
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(512), PageType::Anon)
+            .unwrap();
+        let hf = m.frames().frame(head);
+        assert!(hf.flags().contains(PageFlags::HEAD));
+        assert_eq!(hf.order(), MAX_PAGE_ORDER);
+        assert_eq!(hf.lru_kind(), Some(LruKind::AnonActive));
+        // Every window page translates to its own frame; tails are
+        // allocated but off-LRU.
+        for i in 0..HUGE_PAGE_FRAMES {
+            let pfn = Pfn(head.0 + i as u32);
+            assert_eq!(
+                m.space(Pid(1)).translate(Vpn(512 + i)),
+                Some(PageLocation::Mapped(pfn))
+            );
+            if i > 0 {
+                assert!(m.frames().frame(pfn).flags().contains(PageFlags::TAIL));
+                assert_eq!(m.frames().frame(pfn).lru_kind(), None);
+            }
+        }
+        assert_eq!(m.free_pages(NodeId(0)), 2048 - 512);
+        assert_eq!(m.node(NodeId(0)).lru.total(), 1);
+        assert_eq!(m.vmstat().get(VmEvent::ThpFaultAlloc), 1);
+        m.validate();
+        assert_eq!(m.compound_head(Pfn(head.0 + 100)), head);
+    }
+
+    #[test]
+    fn split_huge_page_round_trip_is_lossless() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.frames_mut()
+            .frame_mut(Pfn(head.0 + 7))
+            .flags_mut()
+            .insert(PageFlags::DIRTY);
+        assert_eq!(m.split_huge_page(head), HUGE_PAGE_FRAMES);
+        assert_eq!(m.vmstat().get(VmEvent::ThpSplit), 1);
+        // All 512 pages now independently LRU-resident, mappings intact,
+        // per-page state kept.
+        assert_eq!(m.node(NodeId(0)).lru.total(), HUGE_PAGE_FRAMES);
+        assert!(m
+            .frames()
+            .frame(Pfn(head.0 + 7))
+            .flags()
+            .contains(PageFlags::DIRTY));
+        for i in 0..HUGE_PAGE_FRAMES {
+            let pfn = Pfn(head.0 + i as u32);
+            assert!(!m
+                .frames()
+                .frame(pfn)
+                .flags()
+                .intersects(PageFlags::HEAD | PageFlags::TAIL));
+            assert_eq!(
+                m.space(Pid(1)).translate(Vpn(i)),
+                Some(PageLocation::Mapped(pfn))
+            );
+        }
+        m.validate();
+        // Base pages are individually migratable again.
+        m.migrate_page(Pfn(head.0 + 3), NodeId(1)).unwrap();
+        m.validate();
+    }
+
+    #[test]
+    fn compound_members_reject_base_page_migration() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let tail = Pfn(head.0 + 9);
+        assert_eq!(
+            m.migrate_page(head, NodeId(1)),
+            Err(MigrateError::CompoundPage { pfn: head })
+        );
+        assert_eq!(
+            m.migrate_page(tail, NodeId(1)),
+            Err(MigrateError::CompoundPage { pfn: tail })
+        );
+    }
+
+    #[test]
+    fn migrate_huge_moves_the_compound_as_one_unit() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.frames_mut().frame_mut(head).set_hotness(5);
+        let new_head = m.migrate_huge(head, NodeId(1)).unwrap();
+        assert_eq!(m.frames().frame(new_head).node(), NodeId(1));
+        assert!(m.frames().frame(new_head).flags().contains(PageFlags::HEAD));
+        assert_eq!(m.frames().frame(new_head).order(), MAX_PAGE_ORDER);
+        assert_eq!(m.frames().frame(new_head).hotness(), 5);
+        assert_eq!(
+            m.frames().frame(new_head).lru_kind(),
+            Some(LruKind::AnonActive)
+        );
+        // One migration decision → one matrix bump, not 512.
+        assert_eq!(m.migrations_between(NodeId(0), NodeId(1)), 1);
+        assert_eq!(m.vmstat().get(VmEvent::PgMigrateSuccess), 1);
+        assert_eq!(m.free_pages(NodeId(0)), 2048);
+        for i in 0..HUGE_PAGE_FRAMES {
+            assert_eq!(
+                m.space(Pid(1)).translate(Vpn(i)),
+                Some(PageLocation::Mapped(Pfn(new_head.0 + i as u32)))
+            );
+        }
+        m.validate();
+    }
+
+    #[test]
+    fn migrate_huge_fails_cleanly_without_an_aligned_block() {
+        let mut m = Memory::builder()
+            .node(NodeKind::LocalDram, 1024)
+            // 511 pages: free memory exists but no aligned order-9 block
+            // can ever be assembled on this node.
+            .node(NodeKind::Cxl, 511)
+            .thp_mode(ThpMode::Always)
+            .build();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let err = m.migrate_huge(head, NodeId(1)).unwrap_err();
+        assert_eq!(err, MigrateError::DstNoMemory { node: NodeId(1) });
+        assert_eq!(m.vmstat().get(VmEvent::PgMigrateFail), 1);
+        // Source untouched.
+        assert!(m.frames().frame(head).flags().contains(PageFlags::HEAD));
+        m.validate();
+    }
+
+    #[test]
+    fn release_of_one_member_splits_the_compound_first() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        assert!(m.release(Pid(1), Vpn(40)));
+        assert_eq!(m.vmstat().get(VmEvent::ThpSplit), 1);
+        assert_eq!(m.space(Pid(1)).translate(Vpn(40)), None);
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(41)),
+            Some(PageLocation::Mapped(Pfn(head.0 + 41)))
+        );
+        assert_eq!(m.free_pages(NodeId(0)), 2048 - 511);
+        m.validate();
+    }
+
+    #[test]
+    fn swap_out_of_a_member_splits_the_compound_first() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        let head = m
+            .alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        let victim = Pfn(head.0 + 100);
+        let slot = m.swap_out(victim).unwrap();
+        assert_eq!(m.vmstat().get(VmEvent::ThpSplit), 1);
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(100)),
+            Some(PageLocation::Swapped(slot))
+        );
+        m.validate();
+    }
+
+    #[test]
+    fn collapse_assembles_scattered_base_pages() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        // Scatter 512 base pages (interleaved with a neighbour window so
+        // the PFN run is not naturally aligned or contiguous).
+        for i in 0..HUGE_PAGE_FRAMES {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(4096 + i), PageType::Anon)
+                .unwrap();
+        }
+        // Not warm yet → no candidate.
+        assert_eq!(m.collapse_candidate(Pid(1), Vpn(0)), None);
+        let pfn0 = match m.space(Pid(1)).translate(Vpn(0)) {
+            Some(PageLocation::Mapped(p)) => p,
+            _ => unreachable!(),
+        };
+        m.frames_mut()
+            .frame_mut(pfn0)
+            .flags_mut()
+            .insert(PageFlags::REFERENCED);
+        assert_eq!(m.collapse_candidate(Pid(1), Vpn(0)), Some(NodeId(0)));
+        // A misaligned or partially-mapped window is never a candidate.
+        assert_eq!(m.collapse_candidate(Pid(1), Vpn(512)), None);
+        let head = m.collapse_range(Pid(1), Vpn(0), NodeId(0)).unwrap();
+        assert_eq!(m.vmstat().get(VmEvent::ThpCollapseAlloc), 1);
+        assert!(m.frames().frame(head).flags().contains(PageFlags::HEAD));
+        assert!(m
+            .frames()
+            .frame(head)
+            .flags()
+            .contains(PageFlags::REFERENCED));
+        for i in 0..HUGE_PAGE_FRAMES {
+            assert_eq!(
+                m.space(Pid(1)).translate(Vpn(i)),
+                Some(PageLocation::Mapped(Pfn(head.0 + i as u32)))
+            );
+        }
+        // Compound windows are not re-collapsible.
+        assert_eq!(m.collapse_candidate(Pid(1), Vpn(0)), None);
+        m.validate();
+    }
+
+    #[test]
+    fn collapse_then_split_restores_base_page_state() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        for i in 0..HUGE_PAGE_FRAMES {
+            m.alloc_and_map(NodeId(0), Pid(1), Vpn(i), PageType::Anon)
+                .unwrap();
+        }
+        let dirty_pfn = match m.space(Pid(1)).translate(Vpn(3)) {
+            Some(PageLocation::Mapped(p)) => p,
+            _ => unreachable!(),
+        };
+        m.frames_mut()
+            .frame_mut(dirty_pfn)
+            .flags_mut()
+            .insert(PageFlags::DIRTY | PageFlags::REFERENCED);
+        m.frames_mut().frame_mut(dirty_pfn).set_hotness(9);
+        let head = m.collapse_range(Pid(1), Vpn(0), NodeId(0)).unwrap();
+        m.split_huge_page(head);
+        let back = match m.space(Pid(1)).translate(Vpn(3)) {
+            Some(PageLocation::Mapped(p)) => p,
+            _ => unreachable!(),
+        };
+        let f = m.frames().frame(back);
+        assert!(f.flags().contains(PageFlags::DIRTY));
+        assert!(f.flags().contains(PageFlags::REFERENCED));
+        assert_eq!(f.hotness(), 9);
+        m.validate();
+    }
+
+    #[test]
+    fn destroy_process_releases_compounds() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        m.alloc_huge_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(4096), PageType::Anon)
+            .unwrap();
+        m.destroy_process(Pid(1));
+        assert_eq!(m.free_pages(NodeId(0)), 2048);
+        m.validate();
+    }
+
+    #[test]
+    fn compact_relocate_moves_a_page_into_a_reserved_frame() {
+        let mut m = thp_two_node();
+        m.create_process(Pid(1));
+        // Land two base pages, then free-list-surgery a destination.
+        let a = m
+            .alloc_and_map(NodeId(0), Pid(1), Vpn(0), PageType::Anon)
+            .unwrap();
+        m.alloc_and_map(NodeId(0), Pid(1), Vpn(1), PageType::Anon)
+            .unwrap();
+        let dst = Pfn(1000);
+        assert!(m.frames_mut().reserve_page(dst));
+        m.compact_relocate(a, dst);
+        assert_eq!(
+            m.space(Pid(1)).translate(Vpn(0)),
+            Some(PageLocation::Mapped(dst))
+        );
+        assert_eq!(m.frames().frame(dst).lru_kind(), Some(LruKind::AnonActive));
+        assert!(!m.frames().frame(a).is_allocated());
+        m.validate();
     }
 }

@@ -241,6 +241,33 @@ pub enum TraceEvent {
         /// Node it was dropped from.
         node: NodeId,
     },
+    /// khugepaged assembled a run of base pages into a compound page.
+    Collapse {
+        /// The compound's head page (pid + lowest vpn of the run).
+        page: PageKey,
+        /// Node the compound was assembled on.
+        node: NodeId,
+        /// Base pages in the new compound.
+        pages: u64,
+    },
+    /// A compound page was shattered back into base pages.
+    Split {
+        /// The former head page.
+        page: PageKey,
+        /// Node the compound lived on.
+        node: NodeId,
+        /// Base pages released by the split.
+        pages: u64,
+    },
+    /// A compaction pass finished on a node.
+    Compact {
+        /// Compacted node.
+        node: NodeId,
+        /// Base pages relocated by the migration scanner.
+        migrated: u64,
+        /// Whether the pass produced at least one free max-order block.
+        success: bool,
+    },
     /// Free-page count crossed a named watermark on a node.
     WatermarkCross {
         /// Node whose watermark was crossed.
@@ -295,6 +322,9 @@ impl TraceEvent {
             TraceEvent::SwapOut { .. } => "swap_out",
             TraceEvent::SwapIn { .. } => "swap_in",
             TraceEvent::FileDrop { .. } => "file_drop",
+            TraceEvent::Collapse { .. } => "collapse",
+            TraceEvent::Split { .. } => "split",
+            TraceEvent::Compact { .. } => "compact",
             TraceEvent::WatermarkCross { .. } => "watermark_cross",
             TraceEvent::DaemonWake { .. } => "daemon_wake",
             TraceEvent::Decision { .. } => "decision",
@@ -354,6 +384,15 @@ impl TraceEvent {
                 vmstat.count(VmEvent::PgMajFault);
             }
             TraceEvent::FileDrop { .. } => vmstat.count(VmEvent::PgDropFile),
+            TraceEvent::Collapse { .. } => vmstat.count(VmEvent::ThpCollapseAlloc),
+            TraceEvent::Split { .. } => vmstat.count(VmEvent::ThpSplit),
+            TraceEvent::Compact { success, .. } => {
+                if success {
+                    vmstat.count(VmEvent::CompactSuccess);
+                } else {
+                    vmstat.count(VmEvent::CompactFail);
+                }
+            }
             TraceEvent::WatermarkCross { .. }
             | TraceEvent::DaemonWake { .. }
             | TraceEvent::Decision { .. } => {}
@@ -380,10 +419,13 @@ impl TraceEvent {
             | TraceEvent::ReclaimSteal { page, .. }
             | TraceEvent::SwapOut { page, .. }
             | TraceEvent::SwapIn { page, .. }
-            | TraceEvent::FileDrop { page, .. } => Some(page),
+            | TraceEvent::FileDrop { page, .. }
+            | TraceEvent::Collapse { page, .. }
+            | TraceEvent::Split { page, .. } => Some(page),
             TraceEvent::Decision { page, .. } => page,
             TraceEvent::AllocStall { .. }
             | TraceEvent::ReclaimScan { .. }
+            | TraceEvent::Compact { .. }
             | TraceEvent::WatermarkCross { .. }
             | TraceEvent::DaemonWake { .. } => None,
         }
@@ -469,6 +511,20 @@ impl TraceRecord {
             }
             TraceEvent::ReclaimScan { node, pages } => {
                 let _ = write!(s, ",\"node\":{},\"pages\":{pages}", node.0);
+            }
+            TraceEvent::Collapse { node, pages, .. } | TraceEvent::Split { node, pages, .. } => {
+                let _ = write!(s, ",\"node\":{},\"pages\":{pages}", node.0);
+            }
+            TraceEvent::Compact {
+                node,
+                migrated,
+                success,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{},\"migrated\":{migrated},\"success\":{success}",
+                    node.0
+                );
             }
             TraceEvent::WatermarkCross {
                 node,
@@ -892,6 +948,21 @@ mod tests {
                 page: key(1, 2),
                 node: NodeId(0),
             },
+            TraceEvent::Collapse {
+                page: key(1, 2),
+                node: NodeId(0),
+                pages: 512,
+            },
+            TraceEvent::Split {
+                page: key(1, 2),
+                node: NodeId(1),
+                pages: 512,
+            },
+            TraceEvent::Compact {
+                node: NodeId(0),
+                migrated: 64,
+                success: true,
+            },
             TraceEvent::WatermarkCross {
                 node: NodeId(0),
                 level: "demote",
@@ -967,6 +1038,39 @@ mod tests {
         assert_eq!(vs.get(VmEvent::PswpIn), 1);
         assert_eq!(vs.get(VmEvent::PgMajFault), 1);
         assert_eq!(vs.get(VmEvent::PgScan), 5);
+    }
+
+    #[test]
+    fn huge_page_events_map_to_thp_counters() {
+        let mut vs = VmStat::new();
+        TraceEvent::Collapse {
+            page: key(1, 0),
+            node: NodeId(0),
+            pages: 512,
+        }
+        .count_into(&mut vs);
+        TraceEvent::Split {
+            page: key(1, 0),
+            node: NodeId(1),
+            pages: 512,
+        }
+        .count_into(&mut vs);
+        TraceEvent::Compact {
+            node: NodeId(0),
+            migrated: 3,
+            success: true,
+        }
+        .count_into(&mut vs);
+        TraceEvent::Compact {
+            node: NodeId(0),
+            migrated: 0,
+            success: false,
+        }
+        .count_into(&mut vs);
+        assert_eq!(vs.get(VmEvent::ThpCollapseAlloc), 1);
+        assert_eq!(vs.get(VmEvent::ThpSplit), 1);
+        assert_eq!(vs.get(VmEvent::CompactSuccess), 1);
+        assert_eq!(vs.get(VmEvent::CompactFail), 1);
     }
 
     #[test]

@@ -204,6 +204,39 @@ impl FromIterator<NodeId> for NodeList {
     }
 }
 
+/// Transparent-huge-page policy mode, mirroring
+/// `/sys/kernel/mm/transparent_hugepage/enabled`.
+///
+/// The mode is a *machine* property (set through
+/// [`MemoryBuilder::thp_mode`](crate::MemoryBuilder::thp_mode)) that the
+/// placement policies read: it gates fault-time huge allocation, the
+/// collapse scanner, and the compaction daemon.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ThpMode {
+    /// No huge pages anywhere (`never`). The frame allocator behaves
+    /// exactly like a flat order-0 free list, so runs are bit-identical
+    /// to the pre-huge-page substrate. The default.
+    #[default]
+    Never,
+    /// No fault-time huge allocation, but the khugepaged-style collapse
+    /// scanner may still assemble huge pages from hot base-page runs
+    /// (`madvise`).
+    Madvise,
+    /// Fault-time huge allocation plus collapse (`always`).
+    Always,
+}
+
+impl fmt::Display for ThpMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThpMode::Never => "never",
+            ThpMode::Madvise => "madvise",
+            ThpMode::Always => "always",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A process identifier.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u32);

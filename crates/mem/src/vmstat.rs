@@ -79,11 +79,22 @@ pub enum VmEvent {
     /// Refaulted pages judged part of the workingset and activated
     /// directly.
     WorkingsetActivate,
+    /// Transparent huge pages allocated directly at fault time.
+    ThpFaultAlloc,
+    /// Transparent huge pages assembled by the khugepaged-style collapse
+    /// scanner.
+    ThpCollapseAlloc,
+    /// Compound pages split back into base pages.
+    ThpSplit,
+    /// Compaction passes that freed at least one huge-page-sized block.
+    CompactSuccess,
+    /// Compaction passes that finished without freeing a huge block.
+    CompactFail,
 }
 
 impl VmEvent {
     /// Number of distinct events.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 36;
 
     /// All events, in counter-file order.
     pub const ALL: [VmEvent; VmEvent::COUNT] = [
@@ -118,6 +129,11 @@ impl VmEvent {
         VmEvent::PgMigrateFail,
         VmEvent::WorkingsetRefault,
         VmEvent::WorkingsetActivate,
+        VmEvent::ThpFaultAlloc,
+        VmEvent::ThpCollapseAlloc,
+        VmEvent::ThpSplit,
+        VmEvent::CompactSuccess,
+        VmEvent::CompactFail,
     ];
 
     /// The `/proc/vmstat`-style name of this counter.
@@ -154,6 +170,11 @@ impl VmEvent {
             VmEvent::PgMigrateFail => "pgmigrate_fail",
             VmEvent::WorkingsetRefault => "workingset_refault",
             VmEvent::WorkingsetActivate => "workingset_activate",
+            VmEvent::ThpFaultAlloc => "thp_fault_alloc",
+            VmEvent::ThpCollapseAlloc => "thp_collapse_alloc",
+            VmEvent::ThpSplit => "thp_split",
+            VmEvent::CompactSuccess => "compact_success",
+            VmEvent::CompactFail => "compact_fail",
         }
     }
 }
@@ -171,9 +192,17 @@ impl VmEvent {
 /// assert_eq!(vs.get(VmEvent::PgDemoteAnon), 1);
 /// assert_eq!(vs.demoted_total(), 4);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VmStat {
     counters: [u64; VmEvent::COUNT],
+}
+
+impl Default for VmStat {
+    fn default() -> VmStat {
+        VmStat {
+            counters: [0; VmEvent::COUNT],
+        }
+    }
 }
 
 impl VmStat {

@@ -36,8 +36,8 @@ mod transient;
 mod zipf;
 
 pub use profiles::{
-    all_production, batch_analytics, cache1, cache2, data_warehouse, kv_store, uniform, web,
-    ANON_BASE_VPN, FILE_BASE_VPN,
+    all_production, batch_analytics, cache1, cache2, data_warehouse, fragmenter, kv_store,
+    thp_friendly, uniform, web, ANON_BASE_VPN, FILE_BASE_VPN,
 };
 pub use region::{Growth, RegionSpec, WindowedRegion};
 pub use synthetic::{

@@ -336,6 +336,80 @@ pub fn batch_analytics(ws_pages: u64) -> WorkloadProfile {
     }
 }
 
+/// **THP-friendly** (beyond the paper's four): a service whose hot set is
+/// large, dense, and anon — the best case for transparent huge pages. The
+/// single region is a multiple of the 512-page huge window, the hot window
+/// covers contiguous aligned spans, and there is almost no short-lived
+/// churn, so fault-time THP allocation and khugepaged collapse both find
+/// fully resident, warm windows to work with.
+pub fn thp_friendly(ws_pages: u64) -> WorkloadProfile {
+    // Round the footprint to whole 512-page huge windows so every aligned
+    // window can be fully resident.
+    let anon_pages = (ws_pages.max(1024) / 512) * 512;
+    let mut anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.45,
+        0.01,
+        0.6,
+        0.30,
+    );
+    // Dense sequential touching inside the window: low skew plus a strong
+    // allocation frontier means freshly faulted windows fill quickly.
+    anon.frontier_weight = 0.25;
+    anon.frontier_frac = 0.10;
+    WorkloadProfile {
+        name: "thp_friendly".into(),
+        pid: Pid(7),
+        regions: vec![anon],
+        region_weights: vec![1.0],
+        accesses_per_op: 8,
+        cpu_ns_per_op: 20_000,
+        warmup: Some(WarmupSpec {
+            region_indices: vec![0],
+            pages_per_op: 64,
+            cpu_ns_per_op: 8_000,
+            interleave: false,
+        }),
+        transient: None,
+    }
+}
+
+/// **Fragmenter** (beyond the paper's four): heavy short-lifetime anon
+/// churn sprayed across a wide range — the worst case for huge pages.
+/// Free memory decays into scattered base-page holes, which starves
+/// fault-time THP allocation and gives kcompactd work to do.
+pub fn fragmenter(ws_pages: u64) -> WorkloadProfile {
+    let anon_pages = ws_pages * 40 / 100;
+    let anon = region(
+        ANON_BASE_VPN,
+        anon_pages,
+        PageType::Anon,
+        0.25,
+        0.05,
+        0.8,
+        0.40,
+    );
+    WorkloadProfile {
+        name: "fragmenter".into(),
+        pid: Pid(8),
+        regions: vec![anon],
+        region_weights: vec![1.0],
+        accesses_per_op: 4,
+        cpu_ns_per_op: 15_000,
+        warmup: None,
+        transient: Some(TransientSpec {
+            // Most ops allocate; pages die young and are scattered over a
+            // range ~1.5x the steady footprint, maximising hole scatter.
+            allocs_per_op: 1.50,
+            touches_per_page: 2,
+            lifetime_ns: 10 * SEC,
+            range_pages: (ws_pages * 3 / 2).max(64),
+        }),
+    }
+}
+
 /// A simple single-region anon workload with a 50% hot window — handy for
 /// quick starts and unit tests.
 pub fn uniform(ws_pages: u64) -> WorkloadProfile {
@@ -521,9 +595,31 @@ mod tests {
         let mut profiles = all_production(1_000);
         profiles.push(kv_store(1_000));
         profiles.push(batch_analytics(1_000));
+        profiles.push(thp_friendly(1_000));
+        profiles.push(fragmenter(1_000));
         profiles.push(uniform(1_000));
         let pids: HashSet<_> = profiles.iter().map(|p| p.pid).collect();
         assert_eq!(pids.len(), profiles.len());
+    }
+
+    #[test]
+    fn thp_friendly_footprint_is_huge_window_aligned() {
+        for ws in [1_000, 6_000, 24_000, 100_000] {
+            let p = thp_friendly(ws);
+            assert_eq!(p.regions[0].pages % 512, 0, "ws {ws}");
+            assert!(p.transient.is_none(), "no churn in the THP best case");
+        }
+    }
+
+    #[test]
+    fn fragmenter_churns_more_than_it_keeps() {
+        let p = fragmenter(10_000);
+        let t = p.transient.as_ref().expect("fragmenter must churn");
+        assert!(t.allocs_per_op >= 1.0, "churn rate {}", t.allocs_per_op);
+        assert!(
+            t.range_pages > p.regions[0].pages,
+            "churn range must be wider than the steady footprint"
+        );
     }
 
     #[test]

@@ -47,6 +47,22 @@ diff "$tmp/t1.out" "$tmp/t2.out" >/dev/null || {
 }
 echo "topology determinism gate: --jobs 2 output byte-identical to --jobs 1"
 
+# THP determinism gate: the huge-page grid runs khugepaged/kcompactd in
+# every non-`never` cell, so it exercises the compound-page paths the
+# base-page targets never touch; it too must be byte-identical under the
+# parallel executor.
+./target/release/repro thp --quick --jobs 1 --csv "$tmp/h1" >"$tmp/h1.out" 2>/dev/null
+./target/release/repro thp --quick --jobs 2 --csv "$tmp/h2" >"$tmp/h2.out" 2>/dev/null
+diff -r "$tmp/h1" "$tmp/h2" >/dev/null || {
+  echo "thp determinism gate FAILED: --jobs 2 CSV tables differ from --jobs 1" >&2
+  exit 1
+}
+diff "$tmp/h1.out" "$tmp/h2.out" >/dev/null || {
+  echo "thp determinism gate FAILED: --jobs 2 stdout differs from --jobs 1" >&2
+  exit 1
+}
+echo "thp determinism gate: --jobs 2 output byte-identical to --jobs 1"
+
 # If this change regenerated the checked-in bench report, surface the
 # throughput delta for review.
 if ! git diff --quiet HEAD -- BENCH_repro.json 2>/dev/null; then

@@ -150,6 +150,24 @@ fn executor_at_four_jobs_matches_sequential_byte_for_byte() {
 }
 
 #[test]
+fn thp_sweep_is_identical_at_any_job_count() {
+    // The THP grid runs huge-page daemons (khugepaged/kcompactd) inside
+    // every non-`never` cell; the table must still be a pure function of
+    // the specs, independent of executor parallelism.
+    let mut scale = tpp_bench::Scale::quick();
+    scale.ws_pages = 2_000;
+    scale.duration_ns = 15 * SEC;
+    scale.jobs = 1;
+    let sequential = tpp_bench::sweeps::sweep_thp(&scale);
+    scale.jobs = 4;
+    let parallel = tpp_bench::sweeps::sweep_thp(&scale);
+    assert_eq!(
+        sequential, parallel,
+        "thp sweep rows diverged between jobs=1 and jobs=4"
+    );
+}
+
+#[test]
 fn policies_share_the_same_workload_stream_per_seed() {
     // Two different policies under the same seed must see the same op
     // structure (determinism of the workload generator, independent of
